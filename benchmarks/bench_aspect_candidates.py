@@ -1,0 +1,91 @@
+"""C3 — multi-candidate aspect ratios (the paper's Section 7 future
+work: "output four or five aspect ratio estimates to allow chip floor
+planners more flexibility in choosing module shapes").
+
+A chip of modules is floor-planned twice: once with a single estimated
+shape per module, once with five candidates per methodology.  The
+flexible run should waste no more chip area.
+"""
+
+import pytest
+
+from repro.core.candidates import candidate_shapes
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.floorplan.shapes import ShapeList
+from repro.layout.annealing import AnnealingSchedule
+from repro.technology.libraries import nmos_process
+from repro.workloads.generators import (
+    counter_module,
+    decoder_module,
+    mux_tree_module,
+    random_gate_module,
+    register_file_module,
+)
+
+SCHEDULE = AnnealingSchedule(moves_per_stage=60, stages=20, cooling=0.85)
+
+
+def chip_modules():
+    return [
+        counter_module("c3_counter", bits=8),
+        decoder_module("c3_decoder", address_bits=3),
+        mux_tree_module("c3_mux", select_bits=3),
+        register_file_module("c3_regs", words=4, bits=4),
+        random_gate_module("c3_ctl", gates=40, inputs=8, outputs=6,
+                           seed=77, locality=0.5),
+    ]
+
+
+def plan_with_candidates(count: int):
+    process = nmos_process()
+    fp_modules = []
+    for module in chip_modules():
+        shapes = candidate_shapes(module, process, count=count)
+        fp_modules.append(
+            FloorplanModule(
+                module.name,
+                ShapeList.from_dimensions([(w, h) for _, w, h in shapes]),
+            )
+        )
+    return floorplan(fp_modules, seed=11, schedule=SCHEDULE)
+
+
+@pytest.fixture(scope="module")
+def plans(report):
+    single = plan_with_candidates(1)
+    flexible = plan_with_candidates(5)
+    report(
+        "C3: aspect-ratio candidate flexibility\n"
+        f"  1 candidate/module : chip area {single.area:12,.0f} lambda^2, "
+        f"dead space {single.dead_space_fraction:.1%}\n"
+        f"  5 candidates/module: chip area {flexible.area:12,.0f} lambda^2, "
+        f"dead space {flexible.dead_space_fraction:.1%}"
+    )
+    return single, flexible
+
+
+def test_candidate_flexibility(benchmark, plans):
+    """Benchmark candidate generation for the whole chip."""
+    process = nmos_process()
+    modules = chip_modules()
+
+    def generate_all():
+        return [
+            candidate_shapes(module, process, count=5)
+            for module in modules
+        ]
+
+    results = benchmark(generate_all)
+    assert all(len(shapes) >= 5 for shapes in results)
+    single, flexible = plans
+    assert flexible.area <= single.area * 1.02
+
+
+def test_flexible_plan_not_worse(plans):
+    single, flexible = plans
+    assert flexible.area <= single.area * 1.02
+
+
+def test_all_modules_placed(plans):
+    _, flexible = plans
+    assert len(flexible.placements) == 5

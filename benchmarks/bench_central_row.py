@@ -1,0 +1,56 @@
+"""S1 — the Section 4.1 numerical simulation.
+
+"Numerical simulation results show that ... the central row always has
+the largest probability of containing a feed-through" and Eq. 9's limit
+of 1/2.
+"""
+
+import pytest
+
+from repro.core.probability import central_feedthrough_probability
+from repro.experiments.central_row import (
+    format_central_row,
+    run_central_row_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(report):
+    points = run_central_row_experiment()
+    report(format_central_row(points))
+    return points
+
+
+def test_central_row_sweep(benchmark, sweep):
+    """Benchmark the analytic side of the sweep (no Monte Carlo)."""
+    from repro.core.probability import feedthrough_argmax_row
+
+    def analytic_sweep():
+        return [
+            feedthrough_argmax_row(components, rows)
+            for rows in range(3, 16)
+            for components in range(2, 11)
+        ]
+
+    result = benchmark(analytic_sweep)
+    assert len(result) == 13 * 9
+    assert all(point.central_is_argmax for point in sweep)
+
+
+def test_central_row_always_maximal(sweep):
+    assert all(point.central_is_argmax for point in sweep)
+
+
+def test_simulation_confirms_analytic(sweep):
+    for point in sweep:
+        assert point.simulated_probability == pytest.approx(
+            point.analytic_probability, abs=0.05
+        )
+
+
+def test_limit_approaches_half():
+    values = [central_feedthrough_probability(n) for n in
+              (5, 17, 65, 257, 1025)]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(0.5, abs=1e-3)
+    assert all(v < 0.5 for v in values)

@@ -1,0 +1,53 @@
+"""F1 — Figure 1: the estimator's structure, exercised end to end.
+
+Schematic files -> input interface -> both estimators -> estimate
+database file (the floor planner's input).
+"""
+
+import pytest
+
+from repro.experiments.pipeline import (
+    format_pipeline,
+    run_pipeline_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_result(report, tmp_path_factory):
+    base = tmp_path_factory.mktemp("fig1")
+    result = run_pipeline_experiment(
+        output_path=base / "estimates.json",
+        workdir=base / "schematics",
+    )
+    report(format_pipeline(result))
+    return result
+
+
+def test_pipeline_throughput(benchmark, tmp_path_factory):
+    """Benchmark one full pipeline pass including file I/O."""
+    base = tmp_path_factory.mktemp("fig1_bench")
+    counter = iter(range(10_000))
+
+    def run_once():
+        index = next(counter)
+        return run_pipeline_experiment(
+            output_path=base / f"estimates_{index}.json",
+            workdir=base / f"schematics_{index}",
+        )
+
+    result = benchmark(run_once)
+    assert len(result.database) == 2
+
+
+def test_pipeline_database_complete(pipeline_result):
+    for record in pipeline_result.database:
+        assert record.standard_cell is not None
+        assert record.full_custom is not None
+        assert record.cpu_seconds > 0
+
+
+def test_pipeline_database_file_reloads(pipeline_result):
+    from repro.iodb.database import EstimateDatabase
+
+    loaded = EstimateDatabase.load(pipeline_result.output_path)
+    assert loaded.module_names == pipeline_result.database.module_names

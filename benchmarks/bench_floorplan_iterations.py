@@ -1,0 +1,53 @@
+"""C2 — floor-planning iteration reduction (contribution 2).
+
+"More accurate module aspect ratio estimates will significantly reduce
+the number of floor planning iterations."  Asserted: the paper's
+estimator converges in no more floor-planning passes than the naive
+cell-area rule of thumb, and typically fewer.
+"""
+
+import pytest
+
+from repro.experiments.iterations import (
+    format_iterations,
+    run_iteration_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(report):
+    result = run_iteration_experiment()
+    report(format_iterations(result))
+    return result
+
+
+def test_iteration_experiment(benchmark, comparison):
+    """Benchmark one full iteration-loop comparison (five modules,
+    both estimators).  One round: each run lays out every module."""
+    result = benchmark.pedantic(
+        run_iteration_experiment, rounds=1, iterations=1
+    )
+    assert result.with_estimator.converged
+    assert (
+        comparison.with_estimator.iterations
+        <= comparison.with_naive.iterations
+    )
+
+
+def test_estimator_needs_no_more_iterations(comparison):
+    assert (
+        comparison.with_estimator.iterations
+        <= comparison.with_naive.iterations
+    )
+
+
+def test_both_eventually_converge(comparison):
+    assert comparison.with_estimator.converged
+    assert comparison.with_naive.converged
+
+
+def test_naive_misfits_on_first_pass(comparison):
+    """The naive estimator underestimates (no routing area), so its
+    first floorplan must have misfits — that is the iteration the
+    paper's estimator saves."""
+    assert comparison.with_naive.history[0].misfits

@@ -1,0 +1,40 @@
+"""P1 — Gerveshi's PLA linear-area relation (extension).
+
+Section 1: "for PLAs, the module area has a simple linear relationship
+to the number of basic logic functions and the number of devices in
+the chip."
+"""
+
+import pytest
+
+from repro.experiments.pla_linearity import (
+    format_pla_linearity,
+    run_pla_linearity,
+)
+
+
+@pytest.fixture(scope="module")
+def fit(report):
+    observations, coefficients, r_squared = run_pla_linearity(count=40)
+    report(format_pla_linearity(observations, coefficients, r_squared))
+    return observations, coefficients, r_squared
+
+
+def test_pla_fit(benchmark, fit):
+    """Benchmark sampling + fitting the PLA family."""
+    observations, coefficients, r_squared = benchmark(
+        run_pla_linearity, 40
+    )
+    assert len(observations) == 40
+    assert fit[2] > 0.85
+
+
+def test_relation_is_linear(fit):
+    _, _, r_squared = fit
+    assert r_squared > 0.85
+
+
+def test_coefficients_positive(fit):
+    _, (a, b, _), _ = fit
+    assert a > 0  # more product terms -> more area
+    assert b >= 0  # more programmed devices never shrinks a PLA

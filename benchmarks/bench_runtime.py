@@ -1,0 +1,56 @@
+"""S2 — the Section 6 CPU-time claim.
+
+Paper: < 1.5 CPU s per full-custom module and < 3 CPU s per
+standard-cell module on a Sun 3/50.  Asserted here: the estimator
+stays far inside those budgets on modern hardware and is orders of
+magnitude faster than the layout flow it replaces.
+"""
+
+import pytest
+
+from repro.experiments.runtime import (
+    PAPER_FULL_CUSTOM_BUDGET_S,
+    PAPER_STANDARD_CELL_BUDGET_S,
+    format_runtime,
+    run_runtime_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def runtime_rows(report):
+    rows = run_runtime_experiment()
+    report(format_runtime(rows))
+    return rows
+
+
+def test_runtime_report(benchmark, runtime_rows):
+    """Benchmark the full-custom estimator on the largest T1 module."""
+    from repro.core.full_custom import estimate_full_custom_both
+    from repro.technology.libraries import nmos_process
+    from repro.workloads.suites import table1_suite
+
+    process = nmos_process()
+    module = max(
+        (case.module for case in table1_suite()),
+        key=lambda m: m.device_count,
+    )
+    benchmark(estimate_full_custom_both, module, process)
+    assert all(
+        row.estimate_seconds < PAPER_STANDARD_CELL_BUDGET_S
+        for row in runtime_rows
+    )
+
+
+def test_estimates_inside_paper_budgets(runtime_rows):
+    for row in runtime_rows:
+        budget = (
+            PAPER_FULL_CUSTOM_BUDGET_S
+            if row.methodology == "full-custom"
+            else PAPER_STANDARD_CELL_BUDGET_S
+        )
+        assert row.estimate_seconds < budget
+
+
+def test_estimation_much_faster_than_layout(runtime_rows):
+    for row in runtime_rows:
+        assert row.speedup_vs_layout > 10.0, row.module_name

@@ -1,0 +1,66 @@
+"""Size-scaling benchmark — the paper's sentence "[track sharing] is
+especially significant in larger designs", quantified.
+
+One circuit family swept from 15 to 120 cells; at each size the paper
+model's overestimate and the analytic-sharing model's are measured
+against the routed oracle.
+"""
+
+import pytest
+
+from repro.experiments.scaling import format_scaling, run_scaling_experiment
+
+
+@pytest.fixture(scope="module")
+def scaling_points(report):
+    points = run_scaling_experiment()
+    report(format_scaling(points))
+    return points
+
+
+def test_scaling_sweep(benchmark, scaling_points):
+    """Benchmark the estimation side of the sweep."""
+    from repro.core.standard_cell import estimate_standard_cell
+    from repro.experiments.scaling import _MIX
+    from repro.technology.libraries import nmos_process
+    from repro.workloads.generators import random_gate_module
+
+    process = nmos_process()
+    modules = [
+        random_gate_module(f"bench_{g}", gates=g, inputs=6, outputs=4,
+                           seed=g, cell_mix=_MIX, locality=0.25)
+        for g in (15, 30, 60, 120)
+    ]
+
+    def estimate_all():
+        return [estimate_standard_cell(m, process) for m in modules]
+
+    assert len(benchmark(estimate_all)) == 4
+    # Headline claim under --benchmark-only:
+    assert (scaling_points[-1].overestimate
+            > scaling_points[0].overestimate + 0.3)
+
+
+def test_overestimate_grows_with_size(scaling_points):
+    """Larger designs overestimate more (small > big by a wide gap)."""
+    first = scaling_points[0]
+    rest = scaling_points[1:]
+    assert all(p.overestimate > first.overestimate + 0.3 for p in rest)
+
+
+def test_every_size_overestimates(scaling_points):
+    for point in scaling_points:
+        assert point.overestimate > 0.0
+
+
+def test_shared_model_flatter_than_paper_model(scaling_points):
+    """The sharing correction removes the size dependence: its spread
+    across sizes is far smaller than the paper model's."""
+    paper = [p.overestimate for p in scaling_points]
+    shared = [p.overestimate_shared for p in scaling_points]
+    assert (max(shared) - min(shared)) < (max(paper) - min(paper))
+
+
+def test_shared_model_closer_at_every_size(scaling_points):
+    for point in scaling_points:
+        assert abs(point.overestimate_shared) < abs(point.overestimate)

@@ -1,0 +1,93 @@
+"""Substrate performance benchmarks.
+
+Not a paper artifact — these time the supporting machinery (placer,
+channel router, floorplanner, parser) so regressions in the oracles'
+cost are visible alongside the experiment benchmarks.
+"""
+
+import random
+
+import pytest
+
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.floorplan.shapes import ShapeList
+from repro.layout.annealing import AnnealingSchedule
+from repro.layout.geometry import Interval
+from repro.layout.placement.row_placer import place_module
+from repro.layout.routing.channel import ChannelNet, route_channel
+from repro.netlist.verilog import parse_verilog
+from repro.netlist.writers import write_verilog
+from repro.technology.libraries import nmos_process
+from repro.workloads.generators import random_gate_module
+
+PROCESS = nmos_process()
+
+
+def test_placer_100_cells(benchmark):
+    module = random_gate_module("p100", gates=100, inputs=8, outputs=6,
+                                seed=1)
+    schedule = AnnealingSchedule(moves_per_stage=100, stages=10,
+                                 cooling=0.85)
+
+    def place():
+        placement, _ = place_module(module, PROCESS, rows=4,
+                                    rng=random.Random(0),
+                                    schedule=schedule)
+        return placement
+
+    placement = benchmark(place)
+    assert placement.validate()
+
+
+def test_channel_router_200_nets(benchmark):
+    rng = random.Random(3)
+    nets = []
+    for i in range(200):
+        left = rng.uniform(0, 1000)
+        right = left + rng.uniform(5, 200)
+        nets.append(ChannelNet(f"n{i}", Interval(left, right)))
+
+    result = benchmark(route_channel, nets)
+    assert result.tracks == result.density
+
+
+def test_constrained_router_100_nets(benchmark):
+    rng = random.Random(4)
+    nets = []
+    for i in range(100):
+        left = rng.uniform(0, 500)
+        right = left + rng.uniform(5, 120)
+        pins = sorted(rng.uniform(left, right) for _ in range(3))
+        nets.append(ChannelNet(f"n{i}", Interval(left, right),
+                               top_columns=(pins[0],),
+                               bottom_columns=tuple(pins[1:])))
+
+    result = benchmark(route_channel, nets, True)
+    assert result.tracks >= result.density
+
+
+def test_floorplanner_12_modules(benchmark):
+    rng = random.Random(5)
+    modules = [
+        FloorplanModule(
+            f"m{i}",
+            ShapeList.from_dimensions(
+                [(rng.uniform(20, 200), rng.uniform(20, 200))]
+            ),
+        )
+        for i in range(12)
+    ]
+    schedule = AnnealingSchedule(moves_per_stage=60, stages=15,
+                                 cooling=0.85)
+
+    plan = benchmark(floorplan, modules, 0, schedule)
+    assert len(plan.placements) == 12
+
+
+def test_verilog_parser_300_gates(benchmark):
+    module = random_gate_module("big", gates=300, inputs=12, outputs=8,
+                                seed=9)
+    source = write_verilog(module)
+
+    parsed = benchmark(parse_verilog, source)
+    assert parsed.device_count == 300

@@ -1,0 +1,25 @@
+"""Benchmark harness support.
+
+Each bench module regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index) and prints it through the ``report``
+fixture, which suspends pytest's output capture so the tables appear
+directly in ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report(pytestconfig):
+    capture_manager = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def write(text: str) -> None:
+        if capture_manager is not None:
+            with capture_manager.global_and_fixture_disabled():
+                print("\n" + text, flush=True)
+        else:
+            print("\n" + text, flush=True)
+
+    return write

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Chip floor-planning flow: estimates drive the floor planner.
+
+Figure 1's full data path, and the paper's second contribution: a chip
+is partitioned into modules, each module is *estimated* (not laid
+out!), the estimates go into a database, and a slicing floorplanner
+arranges the chip from the database.  Afterwards the modules are
+actually laid out and we count how many floor-planning iterations the
+estimates saved compared to a naive designer rule of thumb.
+
+Run:  python examples/floorplanning_flow.py    (takes ~a minute)
+"""
+
+from repro import ModuleAreaEstimator, nmos_process
+from repro.experiments.iterations import (
+    format_iterations,
+    run_iteration_experiment,
+)
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.iodb.database import EstimateDatabase
+from repro.units import format_area
+from repro.workloads.generators import (
+    counter_module,
+    decoder_module,
+    mux_tree_module,
+    random_gate_module,
+    register_file_module,
+)
+
+
+def main() -> None:
+    process = nmos_process()
+
+    # The chip: five heterogeneous modules.
+    modules = [
+        counter_module("counter8", bits=8),
+        decoder_module("decoder3", address_bits=3),
+        mux_tree_module("mux8", select_bits=3),
+        register_file_module("regfile", words=4, bits=4),
+        random_gate_module("control", gates=40, inputs=8, outputs=6,
+                           seed=77, locality=0.5),
+    ]
+
+    # Estimate every module and store the results (Fig. 1 output).
+    estimator = ModuleAreaEstimator(process)
+    database = EstimateDatabase(process.name)
+    print("module estimates:")
+    for record in estimator.estimate_all(modules):
+        database.add(record)
+        sc = record.standard_cell
+        fc = record.full_custom
+        print(f"  {record.module_name:10s} SC {sc.area:10,.0f}  "
+              f"FC {fc.area:10,.0f}  -> {record.best_methodology()}")
+
+    # Floorplan the chip from the estimates.  Each module offers both
+    # methodology shapes (and rotations), so the planner effectively
+    # chooses the methodology mix -- the paper's "trial floor plans for
+    # comparing the various different layout methodologies".
+    plan = floorplan([FloorplanModule.from_estimate(r) for r in database],
+                     seed=7)
+    print(f"\nfloorplan: chip = {plan.chip.width:.0f} x "
+          f"{plan.chip.height:.0f} lambda, "
+          f"area {format_area(plan.area, process.lambda_um)}, "
+          f"dead space {plan.dead_space_fraction:.1%}")
+    for name, rect in sorted(plan.placements.items()):
+        print(f"  {name:10s} at ({rect.x:7.0f}, {rect.y:7.0f}) "
+              f"size {rect.width:.0f} x {rect.height:.0f}")
+
+    from repro.viz import floorplan_to_text
+
+    print()
+    print(floorplan_to_text(plan))
+
+    # Contribution 2: how many estimate->plan->layout->replan cycles
+    # does the estimator save over a naive rule of thumb?
+    print("\nrunning the iteration-count comparison "
+          "(lays out every module; takes a moment)...")
+    comparison = run_iteration_experiment(modules, process)
+    print(format_iterations(comparison))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Hierarchical design entry: flatten, then estimate per module.
+
+Real schematics arrive as a library of modules instantiating one
+another; the paper's flow estimates each *leaf partition* of the chip
+and floor-plans from the estimates.  This example:
+
+1. parses a three-level hierarchical Verilog library,
+2. flattens the top for a whole-chip estimate,
+3. estimates each first-level partition separately (the paper's
+   per-module flow) and floor-plans the partitions,
+4. shows the consistency between the two views.
+
+Run:  python examples/hierarchical_design.py
+"""
+
+from repro import ModuleAreaEstimator, nmos_process
+from repro.core.candidates import candidate_shapes
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.floorplan.shapes import ShapeList
+from repro.netlist.hierarchy import build_library, flatten
+from repro.netlist.verilog import parse_verilog_library
+from repro.units import format_area
+
+SOURCE = """
+// A tiny hierarchical chip: datapath + control + an I/O ring of
+// buffers, each built from shared leaf modules.
+module bitslice (a, b, ci, s, co);
+  input a, b, ci;
+  output s, co;
+  FADD fa (.a(a), .b(b), .ci(ci), .y(s), .co(co));
+endmodule
+
+module datapath (a0, a1, a2, a3, b0, b1, b2, b3, cin, s0, s1, s2, s3, cout);
+  input a0, a1, a2, a3, b0, b1, b2, b3, cin;
+  output s0, s1, s2, s3, cout;
+  bitslice u0 (.a(a0), .b(b0), .ci(cin), .s(s0), .co(c0));
+  bitslice u1 (.a(a1), .b(b1), .ci(c0), .s(s1), .co(c1));
+  bitslice u2 (.a(a2), .b(b2), .ci(c1), .s(s2), .co(c2));
+  bitslice u3 (.a(a3), .b(b3), .ci(c2), .s(s3), .co(cout));
+endmodule
+
+module control (ck, en, q0, q1, q2);
+  input ck, en;
+  output q0, q1, q2;
+  XOR2 x0 (.a(q0), .b(en), .y(t0));
+  DFF  f0 (.d(t0), .ck(ck), .q(q0));
+  AND2 a0 (.a(en), .b(q0), .y(e1));
+  XOR2 x1 (.a(q1), .b(e1), .y(t1));
+  DFF  f1 (.d(t1), .ck(ck), .q(q1));
+  AND2 a1 (.a(e1), .b(q1), .y(e2));
+  XOR2 x2 (.a(q2), .b(e2), .y(t2));
+  DFF  f2 (.d(t2), .ck(ck), .q(q2));
+endmodule
+
+module chip (ck, en, a0, a1, a2, a3, b0, b1, b2, b3, s0, s1, s2, s3, cout, q0, q1, q2);
+  input ck, en, a0, a1, a2, a3, b0, b1, b2, b3;
+  output s0, s1, s2, s3, cout, q0, q1, q2;
+  control  ctl (.ck(ck), .en(en), .q0(q0), .q1(q1), .q2(q2));
+  datapath dp  (.a0(a0), .a1(a1), .a2(a2), .a3(a3),
+                .b0(b0), .b1(b1), .b2(b2), .b3(b3), .cin(q0),
+                .s0(s0), .s1(s1), .s2(s2), .s3(s3), .cout(cout));
+endmodule
+"""
+
+
+def main() -> None:
+    process = nmos_process()
+    estimator = ModuleAreaEstimator(process)
+    library = build_library(parse_verilog_library(SOURCE))
+
+    # Whole-chip view: flatten and estimate as one module.
+    flat_chip = flatten(library, "chip")
+    chip_record = estimator.estimate(flat_chip)
+    print(f"flattened chip: {flat_chip.device_count} devices, "
+          f"{flat_chip.net_count} nets")
+    print(f"  one-module standard-cell estimate: "
+          f"{format_area(chip_record.standard_cell.area, process.lambda_um)}")
+
+    # Partitioned view: the paper's flow — estimate each partition,
+    # then floor-plan.  Each partition offers five aspect candidates
+    # (the Section 7 extension) to the floorplanner.
+    partitions = ["control", "datapath"]
+    fp_modules = []
+    total = 0.0
+    print("\nper-partition estimates:")
+    for name in partitions:
+        flat = flatten(library, name)
+        record = estimator.estimate(flat)
+        area = record.standard_cell.area
+        total += area
+        shapes = candidate_shapes(flat, process, count=5)
+        fp_modules.append(
+            FloorplanModule(
+                name,
+                ShapeList.from_dimensions([(w, h) for _, w, h in shapes]),
+            )
+        )
+        print(f"  {name:9s} {flat.device_count:3d} devices  "
+              f"SC {format_area(area, process.lambda_um)}  "
+              f"{len(shapes)} candidate shapes")
+
+    plan = floorplan(fp_modules, seed=3)
+    print(f"\nfloorplan of the partitions: "
+          f"{plan.chip.width:.0f} x {plan.chip.height:.0f} lambda, "
+          f"area {format_area(plan.area, process.lambda_um)}, "
+          f"dead space {plan.dead_space_fraction:.1%}")
+    print("(the floorplanner picked the smallest candidate per module --"
+          " here the full-custom shapes, demonstrating the methodology-"
+          "mixing use case)")
+    print(f"sum of partition SC estimates: {format_area(total)}")
+    print(f"single-module estimate    : "
+          f"{format_area(chip_record.standard_cell.area)}")
+    print("\n(The single-module estimate differs from the partitioned "
+          "sum because\nrouting grows with module size -- the reason "
+          "the paper estimates modules,\nnot whole chips: 'the "
+          "estimator ... is not intended for area estimation of "
+          "entire chips'.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Methodology trade-off study: Standard-Cell vs Full-Custom per module.
+
+"Accurate module area estimators and floor planners allow the
+generation of trial floor plans for comparing the various different
+layout methodologies or mixtures of them.  The designer can then
+intelligently choose the most appropriate methodology."
+
+This example sweeps a family of datapath modules, estimates each under
+both methodologies (full-custom estimation works on the transistor-
+level expansion of the same logic), and prints the crossover: small
+modules favour full-custom, larger ones favour standard cells as
+design effort dominates — but the *area* story is what the estimator
+quantifies.
+
+Run:  python examples/methodology_comparison.py
+"""
+
+from repro import EstimatorConfig, nmos_process
+from repro.core.full_custom import estimate_full_custom
+from repro.core.gate_array import estimate_gate_array
+from repro.core.standard_cell import estimate_standard_cell
+from repro.reporting import render_table
+from repro.workloads.generators import (
+    decoder_module,
+    expand_to_transistors,
+)
+
+
+def main() -> None:
+    process = nmos_process()
+    config = EstimatorConfig()
+
+    rows = []
+    for bits in (1, 2, 3, 4):
+        gate_level = decoder_module(f"decoder{bits}", address_bits=bits)
+        transistor_level = expand_to_transistors(gate_level)
+
+        sc = estimate_standard_cell(gate_level, process, config)
+        fc = estimate_full_custom(transistor_level, process, config)
+        ga = estimate_gate_array(gate_level, process, config=config)
+        areas = {"standard-cell": sc.area, "full-custom": fc.area,
+                 "gate-array": ga.area}
+        winner = min(areas, key=areas.get)
+        rows.append(
+            (
+                gate_level.name,
+                gate_level.device_count,
+                transistor_level.device_count,
+                round(sc.area),
+                round(fc.area),
+                round(ga.area),
+                f"{ga.utilization:.0%}",
+                winner,
+            )
+        )
+
+    print(render_table(
+        ("Module", "Gates", "Transistors", "SC area", "FC area",
+         "GA area", "GA util", "Smallest"),
+        rows,
+        title="Decoder family: the three methodologies of Section 1 "
+              "(areas in lambda^2)",
+    ))
+    print(
+        "\nFull-custom wins on area (no routing channels, abutting\n"
+        "transistors); the gate array pays for its prediffused sites\n"
+        "and fixed channels -- the paper's motivation for estimating\n"
+        "before committing: area vs design effort is now a number,\n"
+        "not a guess."
+    )
+
+
+if __name__ == "__main__":
+    main()

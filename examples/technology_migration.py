@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Technology retargeting: one netlist, several fabrication processes.
+
+"The estimator deals with different chip fabrication technologies
+(e.g., CMOS and nMOS) and can easily be adjusted to cope with new chip
+fabrication processes."  A process is just a database (Fig. 1), so
+retargeting an estimate is a matter of swapping the database — this
+example estimates the same counter under nMOS, CMOS, and a custom
+process built on the fly, then saves/reloads the custom process as
+JSON to show the multi-database store.
+
+Run:  python examples/technology_migration.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import EstimatorConfig, cmos_process, nmos_process
+from repro.core.standard_cell import estimate_standard_cell
+from repro.reporting import render_table
+from repro.technology.loader import load_process_file, save_process_file
+from repro.technology.process import DeviceKind, DeviceType, ProcessDatabase
+from repro.units import area_lambda2_to_um2
+from repro.workloads.generators import counter_module
+
+
+def build_custom_process() -> ProcessDatabase:
+    """A hypothetical scaled CMOS process (lambda = 0.6 um)."""
+    base = cmos_process()
+    process = ProcessDatabase(
+        name="cmos-1.2um-shrink",
+        lambda_um=0.6,
+        row_height=base.row_height,
+        feedthrough_width=base.feedthrough_width,
+        track_pitch=base.track_pitch,
+        port_pitch=base.port_pitch,
+        description="optical shrink of the 2um CMOS library",
+    )
+    for device_type in base.device_types:
+        process.register(
+            DeviceType(device_type.name, device_type.width,
+                       device_type.height, device_type.kind,
+                       device_type.pin_count, device_type.description)
+        )
+    return process.validate()
+
+
+def main() -> None:
+    module = counter_module("counter12", bits=12)
+    config = EstimatorConfig()
+
+    custom = build_custom_process()
+    # The multi-database store: processes live as JSON files.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_process_file(custom, Path(tmp) / "shrink.json")
+        custom = load_process_file(path)
+        print(f"custom process round-tripped through {path.name}")
+
+    rows = []
+    for process in (nmos_process(), cmos_process(), custom):
+        estimate = estimate_standard_cell(module, process, config)
+        um2 = area_lambda2_to_um2(estimate.area, process.lambda_um)
+        rows.append(
+            (
+                process.name,
+                process.lambda_um,
+                estimate.rows,
+                estimate.tracks,
+                round(estimate.area),
+                round(um2),
+                f"{estimate.aspect_ratio:.2f}",
+            )
+        )
+
+    print(render_table(
+        ("Process", "lambda (um)", "Rows", "Tracks", "Area (lambda^2)",
+         "Area (um^2)", "Aspect"),
+        rows,
+        title=f"{module.name}: the same netlist under three processes",
+    ))
+    print(
+        "\nlambda^2 areas track the library geometry; physical um^2\n"
+        "areas shrink quadratically with lambda -- exactly the\n"
+        "scalable-rules behaviour the estimator's process database\n"
+        "abstraction is built around."
+    )
+
+
+if __name__ == "__main__":
+    main()

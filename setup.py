@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` in offline environments whose
+setuptools cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""repro — Module Area Estimator for VLSI Layout.
+
+A production-grade reproduction of Chen & Bushnell, "A Module Area
+Estimator for VLSI Layout", Proc. 25th ACM/IEEE Design Automation
+Conference (DAC), 1988, pp. 54-59.
+
+The package estimates layout area and aspect ratio of circuit modules
+*before* layout, for both the Standard-Cell and Full-Custom
+methodologies, so a chip floor planner can converge in fewer
+iterations.  Alongside the estimator it ships every substrate the
+paper's evaluation relied on: netlist parsers, process databases, a
+standard-cell place-and-route flow (the TimberWolf stand-in), a
+full-custom layout simulator (the manual-layout stand-in), and a
+slicing floorplanner.
+
+Quick start::
+
+    from repro import ModuleAreaEstimator, nmos_process, parse_verilog
+
+    module = parse_verilog(source)
+    estimator = ModuleAreaEstimator(nmos_process())
+    record = estimator.estimate(module)
+    print(record.standard_cell.area, record.full_custom.area)
+"""
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import ModuleAreaEstimator
+from repro.core.full_custom import estimate_full_custom
+from repro.core.results import (
+    FullCustomEstimate,
+    ModuleEstimate,
+    StandardCellEstimate,
+)
+from repro.core.standard_cell import estimate_standard_cell
+from repro.errors import (
+    DatabaseError,
+    EstimationError,
+    FloorplanError,
+    LayoutError,
+    NetlistError,
+    ParseError,
+    ReproError,
+    TechnologyError,
+)
+from repro.netlist import (
+    Device,
+    Module,
+    Net,
+    NetlistBuilder,
+    Port,
+    PortDirection,
+    parse_spice,
+    parse_verilog,
+    scan_module,
+    write_spice,
+    write_verilog,
+)
+from repro.technology import (
+    DeviceKind,
+    DeviceType,
+    ProcessDatabase,
+    cmos_process,
+    nmos_process,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatabaseError",
+    "Device",
+    "DeviceKind",
+    "DeviceType",
+    "EstimationError",
+    "EstimatorConfig",
+    "FloorplanError",
+    "FullCustomEstimate",
+    "LayoutError",
+    "Module",
+    "ModuleAreaEstimator",
+    "ModuleEstimate",
+    "Net",
+    "NetlistBuilder",
+    "NetlistError",
+    "ParseError",
+    "Port",
+    "PortDirection",
+    "ProcessDatabase",
+    "ReproError",
+    "StandardCellEstimate",
+    "TechnologyError",
+    "cmos_process",
+    "estimate_full_custom",
+    "estimate_standard_cell",
+    "nmos_process",
+    "parse_spice",
+    "parse_verilog",
+    "scan_module",
+    "write_spice",
+    "write_verilog",
+    "__version__",
+]

@@ -1,0 +1,462 @@
+"""The ``mae`` command-line tool.
+
+Subcommands mirror the deliverables:
+
+* ``mae estimate <schematic>`` — estimate one module (the paper's core
+  use case: schematic + process database -> area and aspect ratio).
+* ``mae scan <schematic>`` — print the statistics the estimator
+  consumes (N, H, W_avg, net-size histogram).
+* ``mae process list|show|export`` — inspect the shipped process
+  databases.
+* ``mae table1 | table2 | central-row | pipeline | iterations |
+  runtime | ablation | pla`` — regenerate the paper's tables, figure,
+  and the extension experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import ModuleAreaEstimator
+from repro.errors import ReproError
+from repro.netlist.stats import scan_module
+from repro.technology.libraries import builtin_processes
+from repro.technology.loader import save_process_file
+from repro.units import format_area
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    try:
+        args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mae",
+        description="Module Area Estimator for VLSI layout "
+                    "(Chen & Bushnell, DAC 1988 reproduction)",
+    )
+    sub = parser.add_subparsers(title="commands")
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate area/aspect of a schematic file"
+    )
+    estimate.add_argument("schematic", help="Verilog (.v) or SPICE (.sp) file")
+    _add_process_argument(estimate)
+    estimate.add_argument(
+        "--methodology", choices=("standard-cell", "full-custom", "both"),
+        default="both",
+    )
+    estimate.add_argument("--rows", type=int, default=None,
+                          help="fix the standard-cell row count")
+    estimate.add_argument("--output", default=None,
+                          help="write the estimate database to this JSON file")
+    estimate.add_argument(
+        "--track-model", choices=("upper-bound", "shared"),
+        default="upper-bound",
+        help="'shared' uses the analytic track-sharing model "
+             "(paper Section 7 future work)",
+    )
+    estimate.add_argument(
+        "--aspects", type=int, default=0, metavar="N",
+        help="also print N aspect-ratio candidates per methodology "
+             "(paper Section 7 future work)",
+    )
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    layout = sub.add_parser(
+        "layout", help="run the real layout oracle on a schematic"
+    )
+    layout.add_argument("schematic")
+    _add_process_argument(layout)
+    layout.add_argument("--rows", type=int, default=None,
+                        help="standard-cell rows (gate-level input only)")
+    layout.add_argument("--seed", type=int, default=0)
+    layout.add_argument("--svg", default=None,
+                        help="write the layout drawing to this SVG file")
+    layout.set_defaults(handler=_cmd_layout)
+
+    compare = sub.add_parser(
+        "compare",
+        help="compare all three methodologies for a gate-level schematic",
+    )
+    compare.add_argument("schematic")
+    _add_process_argument(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    flatten_cmd = sub.add_parser(
+        "flatten", help="flatten a hierarchical Verilog library"
+    )
+    flatten_cmd.add_argument("schematic", help="multi-module Verilog file")
+    flatten_cmd.add_argument("--top", default=None,
+                             help="top module (default: inferred)")
+    flatten_cmd.add_argument("--output", default=None,
+                             help="write flat Verilog here (default: stdout)")
+    flatten_cmd.set_defaults(handler=_cmd_flatten)
+
+    scan = sub.add_parser("scan", help="print estimator input statistics")
+    scan.add_argument("schematic")
+    _add_process_argument(scan)
+    scan.add_argument(
+        "--metrics", action="store_true",
+        help="also print fanout profile and a Rent-exponent estimate",
+    )
+    scan.set_defaults(handler=_cmd_scan)
+
+    process = sub.add_parser("process", help="process database utilities")
+    process_sub = process.add_subparsers(title="actions")
+    p_list = process_sub.add_parser("list", help="list shipped processes")
+    p_list.set_defaults(handler=_cmd_process_list)
+    p_show = process_sub.add_parser("show", help="describe one process")
+    _add_process_argument(p_show)
+    p_show.set_defaults(handler=_cmd_process_show)
+    p_export = process_sub.add_parser("export", help="export to JSON")
+    _add_process_argument(p_export)
+    p_export.add_argument("output")
+    p_export.set_defaults(handler=_cmd_process_export)
+
+    for name, help_text, handler in (
+        ("table1", "regenerate Table 1 (full-custom)", _cmd_table1),
+        ("table2", "regenerate Table 2 (standard-cell)", _cmd_table2),
+        ("central-row", "run the S1 central-row sweep", _cmd_central_row),
+        ("pipeline", "run the Fig. 1 pipeline (F1)", _cmd_pipeline),
+        ("iterations", "run the C2 iteration comparison", _cmd_iterations),
+        ("runtime", "run the S2 runtime measurement", _cmd_runtime),
+        ("pla", "run the P1 PLA linearity check", _cmd_pla),
+        ("scaling", "run the size-scaling study", _cmd_scaling),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.set_defaults(handler=handler)
+
+    ablation = sub.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument(
+        "which", choices=("sharing", "rows", "oracle"),
+        help="sharing = A1 track sharing; rows = A3 row sweep; "
+             "oracle = oracle-quality study",
+    )
+    ablation.set_defaults(handler=_cmd_ablation)
+
+    return parser
+
+
+def _add_process_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tech", choices=sorted(builtin_processes()), default="nmos",
+        help="fabrication process database (default: nmos)",
+    )
+
+
+def _resolve_process(args):
+    return builtin_processes()[args.tech]()
+
+
+# ----------------------------------------------------------------------
+# command handlers
+# ----------------------------------------------------------------------
+def _cmd_estimate(args) -> None:
+    process = _resolve_process(args)
+    config = EstimatorConfig(
+        rows=args.rows,
+        track_model=getattr(args, "track_model", "upper-bound"),
+    )
+    estimator = ModuleAreaEstimator(process, config)
+    module = estimator.load_schematic(args.schematic)
+    methodologies = (
+        ("standard-cell", "full-custom")
+        if args.methodology == "both"
+        else (args.methodology,)
+    )
+    record = estimator.estimate(module, methodologies)
+
+    print(f"module {module.name}: {record.statistics.describe()}")
+    if record.standard_cell is not None:
+        sc = record.standard_cell
+        print(
+            f"standard-cell: {format_area(sc.area, process.lambda_um)}, "
+            f"{sc.rows} rows, {sc.tracks} tracks, "
+            f"{sc.feedthroughs} feed-throughs, "
+            f"{sc.width:.0f} x {sc.height:.0f} lambda "
+            f"(aspect {sc.aspect_ratio:.2f})"
+        )
+    if record.full_custom is not None:
+        fc = record.full_custom
+        print(
+            f"full-custom (exact areas): "
+            f"{format_area(fc.area, process.lambda_um)}, "
+            f"{fc.width:.0f} x {fc.height:.0f} lambda "
+            f"(aspect {fc.aspect_ratio:.2f})"
+        )
+    if record.full_custom_average is not None:
+        fca = record.full_custom_average
+        print(
+            f"full-custom (average areas): "
+            f"{format_area(fca.area, process.lambda_um)}"
+        )
+    print(f"recommended methodology: {record.best_methodology()}")
+    if getattr(args, "aspects", 0):
+        from repro.core.candidates import candidate_shapes
+
+        print(f"\naspect-ratio candidates (Section 7 extension):")
+        for label, width, height in candidate_shapes(
+            module, process, config, count=args.aspects
+        ):
+            print(f"  {label:12s} {width:8.0f} x {height:8.0f} lambda "
+                  f"(aspect {width / height:.2f})")
+    if args.output:
+        from repro.iodb.database import EstimateDatabase
+
+        database = EstimateDatabase(process.name)
+        database.add(record)
+        database.save(args.output)
+        print(f"estimate database written to {args.output}")
+
+
+def _cmd_layout(args) -> None:
+    from repro.layout.full_custom_flow import layout_full_custom
+    from repro.layout.standard_cell_flow import layout_standard_cell
+    from repro.technology.process import DeviceKind
+    from repro.viz import full_custom_to_svg, placement_to_svg
+
+    process = _resolve_process(args)
+    estimator = ModuleAreaEstimator(process)
+    module = estimator.load_schematic(args.schematic)
+
+    kinds = {process.device_kind(d) for d in module.devices}
+    svg_text = None
+    if kinds <= {DeviceKind.TRANSISTOR, DeviceKind.PASSIVE}:
+        layout = layout_full_custom(module, process, seed=args.seed)
+        print(
+            f"full-custom layout of {module.name}: "
+            f"{layout.width:.0f} x {layout.height:.0f} lambda, "
+            f"area {format_area(layout.area, process.lambda_um)}, "
+            f"packing efficiency {layout.packing_efficiency:.0%}"
+        )
+        svg_text = full_custom_to_svg(layout)
+    else:
+        rows = args.rows
+        if rows is None:
+            from repro.core.standard_cell import estimate_standard_cell
+
+            rows = estimate_standard_cell(module, process).rows
+        layout = layout_standard_cell(
+            module, process, rows=rows, seed=args.seed,
+            keep_placement=bool(args.svg),
+        )
+        print(
+            f"standard-cell layout of {module.name}: {rows} rows, "
+            f"{layout.tracks} tracks, {layout.feedthroughs} feed-throughs, "
+            f"{layout.width:.0f} x {layout.height:.0f} lambda, "
+            f"area {format_area(layout.area, process.lambda_um)}"
+        )
+        if args.svg:
+            svg_text = placement_to_svg(layout.placement)
+    if args.svg and svg_text is not None:
+        from pathlib import Path
+
+        Path(args.svg).write_text(svg_text)
+        print(f"drawing written to {args.svg}")
+
+
+def _cmd_compare(args) -> None:
+    from repro.core.gate_array import compare_methodologies
+
+    process = _resolve_process(args)
+    estimator = ModuleAreaEstimator(process)
+    module = estimator.load_schematic(args.schematic)
+    areas = compare_methodologies(module, process)
+    print(f"module {module.name} under {process.name}:")
+    for methodology, area in sorted(areas.items(), key=lambda kv: kv[1]):
+        print(f"  {methodology:14s} {format_area(area, process.lambda_um)}")
+    winner = min(areas, key=areas.get)
+    print(f"smallest: {winner}")
+    if "full-custom" not in areas:
+        print("(full-custom skipped: some cells have no transistor "
+              "expansion)")
+
+
+def _cmd_flatten(args) -> None:
+    from pathlib import Path
+
+    from repro.netlist.hierarchy import build_library, flatten, _infer_top
+    from repro.netlist.verilog import parse_verilog_library
+    from repro.netlist.writers import write_verilog
+
+    text = Path(args.schematic).read_text()
+    library = build_library(parse_verilog_library(text, args.schematic))
+    top = args.top or _infer_top(library)
+    # "__" keeps the flattened names valid Verilog identifiers.
+    flat = flatten(library, top, separator="__")
+    output = write_verilog(flat)
+    if args.output:
+        Path(args.output).write_text(output)
+        print(f"flat module {flat.name} ({flat.device_count} devices) "
+              f"written to {args.output}")
+    else:
+        print(output, end="")
+
+
+def _cmd_scan(args) -> None:
+    process = _resolve_process(args)
+    estimator = ModuleAreaEstimator(process)
+    module = estimator.load_schematic(args.schematic)
+    stats = scan_module(
+        module,
+        device_width=process.device_width,
+        device_height=process.device_height,
+        port_width=process.port_pitch,
+    )
+    print(stats.describe())
+    print("width histogram (W_i, X_i):", list(stats.width_histogram))
+    print("net sizes (D, y_D):", list(stats.net_size_histogram))
+    if getattr(args, "metrics", False):
+        from repro.errors import NetlistError
+        from repro.netlist.metrics import (
+            average_pins_per_device,
+            fanout_profile,
+            rent_exponent,
+        )
+
+        profile = fanout_profile(module)
+        print(f"fanout: mean {profile.mean:.2f}, max {profile.maximum}, "
+              f"{profile.two_point_fraction:.0%} two-point nets")
+        print(f"average pins per device: "
+              f"{average_pins_per_device(module):.2f}")
+        try:
+            rent = rent_exponent(module)
+            print(f"Rent exponent: p = {rent.exponent:.2f} "
+                  f"(k = {rent.coefficient:.1f}, "
+                  f"{rent.sample_count} blocks)")
+        except NetlistError as exc:
+            print(f"Rent exponent: unavailable ({exc})")
+
+
+def _cmd_process_list(args) -> None:
+    del args
+    for name, factory in sorted(builtin_processes().items()):
+        process = factory()
+        print(f"{name}: {process.name} - {process.description}")
+
+
+def _cmd_process_show(args) -> None:
+    process = _resolve_process(args)
+    print(f"{process.name} (lambda = {process.lambda_um} um)")
+    print(f"  row height:        {process.row_height} lambda")
+    print(f"  feed-through width: {process.feedthrough_width} lambda")
+    print(f"  track pitch:       {process.track_pitch} lambda")
+    print(f"  port pitch:        {process.port_pitch} lambda")
+    print(f"  device types ({len(process.device_types)}):")
+    for device_type in sorted(process.device_types, key=lambda d: d.name):
+        print(
+            f"    {device_type.name:12s} {device_type.width:6.1f} x "
+            f"{device_type.height:5.1f} lambda  [{device_type.kind.value}]"
+        )
+
+
+def _cmd_process_export(args) -> None:
+    process = _resolve_process(args)
+    path = save_process_file(process, args.output)
+    print(f"process {process.name} written to {path}")
+
+
+def _cmd_table1(args) -> None:
+    del args
+    from repro.experiments.table1 import format_table1, run_table1
+
+    print(format_table1(run_table1()))
+
+
+def _cmd_table2(args) -> None:
+    del args
+    from repro.experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+
+
+def _cmd_central_row(args) -> None:
+    del args
+    from repro.experiments.central_row import (
+        format_central_row,
+        run_central_row_experiment,
+    )
+
+    print(format_central_row(run_central_row_experiment()))
+
+
+def _cmd_pipeline(args) -> None:
+    del args
+    from repro.experiments.pipeline import (
+        format_pipeline,
+        run_pipeline_experiment,
+    )
+
+    print(format_pipeline(run_pipeline_experiment()))
+
+
+def _cmd_iterations(args) -> None:
+    del args
+    from repro.experiments.iterations import (
+        format_iterations,
+        run_iteration_experiment,
+    )
+
+    print(format_iterations(run_iteration_experiment()))
+
+
+def _cmd_runtime(args) -> None:
+    del args
+    from repro.experiments.runtime import format_runtime, run_runtime_experiment
+
+    print(format_runtime(run_runtime_experiment()))
+
+
+def _cmd_pla(args) -> None:
+    del args
+    from repro.experiments.pla_linearity import (
+        format_pla_linearity,
+        run_pla_linearity,
+    )
+
+    observations, coefficients, r_squared = run_pla_linearity()
+    print(format_pla_linearity(observations, coefficients, r_squared))
+
+
+def _cmd_scaling(args) -> None:
+    del args
+    from repro.experiments.scaling import (
+        format_scaling,
+        run_scaling_experiment,
+    )
+
+    print(format_scaling(run_scaling_experiment()))
+
+
+def _cmd_ablation(args) -> None:
+    from repro.experiments import ablations
+
+    if args.which == "sharing":
+        print(ablations.format_track_sharing(
+            ablations.run_track_sharing_ablation()
+        ))
+    elif args.which == "rows":
+        print(ablations.format_row_sweep(ablations.run_row_sweep()))
+    else:
+        print(ablations.format_oracle_quality(
+            ablations.run_oracle_quality_ablation()
+        ))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the module area estimator.
+
+* :mod:`repro.core.probability` — the probabilistic machinery of
+  Section 4.1: row-spread distribution (Eqs. 2-3) and feed-through
+  probabilities (Eqs. 4-11).
+* :mod:`repro.core.standard_cell` — the standard-cell area estimator
+  (Eq. 12) with the row-count selection algorithm of Section 5.
+* :mod:`repro.core.full_custom` — the full-custom estimator (Eq. 13).
+* :mod:`repro.core.aspect` — aspect-ratio estimation (Section 5, Eq. 14).
+* :mod:`repro.core.estimator` — the facade of Fig. 1 tying netlist,
+  process database, and both estimators together.
+* :mod:`repro.core.pla` — the Gerveshi linear PLA area model cited in
+  the introduction (extension).
+"""
+
+from repro.core.candidates import (
+    candidate_shapes,
+    full_custom_candidates,
+    standard_cell_candidates,
+)
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import ModuleAreaEstimator
+from repro.core.full_custom import estimate_full_custom
+from repro.core.gate_array import (
+    GateArrayEstimate,
+    GateArraySpec,
+    compare_methodologies,
+    estimate_gate_array,
+)
+from repro.core.results import (
+    FullCustomEstimate,
+    ModuleEstimate,
+    StandardCellEstimate,
+)
+from repro.core.sharing import estimate_shared_tracks
+from repro.core.standard_cell import estimate_standard_cell
+
+__all__ = [
+    "EstimatorConfig",
+    "FullCustomEstimate",
+    "GateArrayEstimate",
+    "GateArraySpec",
+    "ModuleAreaEstimator",
+    "ModuleEstimate",
+    "StandardCellEstimate",
+    "candidate_shapes",
+    "compare_methodologies",
+    "estimate_gate_array",
+    "estimate_full_custom",
+    "estimate_shared_tracks",
+    "estimate_standard_cell",
+    "full_custom_candidates",
+    "standard_cell_candidates",
+]

@@ -1,0 +1,83 @@
+"""Aspect-ratio estimation (Section 5).
+
+"Currently, we estimate the module aspect ratio by dividing the
+estimated module area by the length along a module side in which all
+input and output ports can be fitted.  ...  We use the control
+criterion that all input and output ports must fit along any one of the
+four layout edges or at least along one of the longer edges."
+
+* Standard-cell: the aspect ratio falls out of Eq. 12's width and
+  height directly (Eq. 14); the row-count algorithm
+  (:func:`repro.core.standard_cell.choose_initial_rows`) already folded
+  the port criterion into the choice of n.
+* Full-custom: start from a 1:1 square of the estimated area; if the
+  edge is shorter than the total port length, stretch the module so one
+  edge equals the port length (Section 5's algorithm, step 2a).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import EstimationError
+
+
+def full_custom_dimensions(
+    area: float,
+    port_length: float,
+    max_aspect: float = 2.0,
+) -> Tuple[float, float]:
+    """Width and height for a full-custom module of the given area.
+
+    Implements the Section 5 full-custom algorithm:
+
+    1. assume 1:1 — edge = sqrt(area);
+    2. if the edge already holds all ports, keep 1:1 (step 2b);
+       otherwise make the long edge exactly the port length and divide
+       the area by it for the other edge (step 2a).
+
+    The paper notes manually-designed modules fall between 1:1 and 1:2;
+    ``max_aspect`` caps the stretch at that range unless ports force
+    more (the port criterion dominates — an unconnectable module is
+    useless however nicely shaped).
+    """
+    if area <= 0:
+        raise EstimationError(f"area must be positive, got {area}")
+    if port_length < 0:
+        raise EstimationError(
+            f"port length must be >= 0, got {port_length}"
+        )
+    edge = math.sqrt(area)
+    if port_length <= edge:
+        return edge, edge
+    # Ports force an elongated module: width = port_length is already
+    # the *minimum* width satisfying the criterion, so the max_aspect
+    # preference yields to it (an unconnectable module is useless
+    # however nicely shaped).
+    del max_aspect
+    width = port_length
+    height = area / width
+    return width, height
+
+
+def fits_ports(width: float, height: float, port_length: float) -> bool:
+    """The control criterion: do all ports fit along one of the longer
+    edges?"""
+    if width <= 0 or height <= 0:
+        raise EstimationError(
+            f"dimensions must be positive, got {width} x {height}"
+        )
+    return port_length <= max(width, height)
+
+
+def aspect_within_typical_range(
+    width: float, height: float, max_aspect: float = 2.0
+) -> bool:
+    """Whether the shape falls in the paper's typical 1:1..1:2 band."""
+    if width <= 0 or height <= 0:
+        raise EstimationError(
+            f"dimensions must be positive, got {width} x {height}"
+        )
+    ratio = max(width, height) / min(width, height)
+    return ratio <= max_aspect + 1e-9

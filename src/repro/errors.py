@@ -1,0 +1,53 @@
+"""Exception hierarchy for the module area estimator.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers embedding the estimator in a larger CAD flow can catch one base
+class.  Subclasses mirror the major subsystems: netlist handling,
+technology databases, estimation itself, layout generation, and floor
+planning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid or refers to unknown objects."""
+
+
+class ParseError(NetlistError):
+    """A netlist source file could not be parsed.
+
+    Carries the source location so CAD-flow wrappers can point the user
+    at the offending line.
+    """
+
+    def __init__(self, message: str, filename: str = "<string>", line: int = 0):
+        self.filename = filename
+        self.line = line
+        if line:
+            message = f"{filename}:{line}: {message}"
+        super().__init__(message)
+
+
+class TechnologyError(ReproError):
+    """A process database is inconsistent or missing required entries."""
+
+
+class EstimationError(ReproError):
+    """The estimator was given inputs it cannot produce an estimate for."""
+
+
+class LayoutError(ReproError):
+    """A layout flow (placement, routing, packing) failed."""
+
+
+class FloorplanError(ReproError):
+    """The floorplanner could not realise the requested plan."""
+
+
+class DatabaseError(ReproError):
+    """The estimate interchange database is malformed."""

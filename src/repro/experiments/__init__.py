@@ -1,0 +1,35 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Each module here produces one artifact from DESIGN.md's experiment
+index; ``benchmarks/`` wraps these with pytest-benchmark and the CLI
+exposes them as subcommands, so the numbers in EXPERIMENTS.md come from
+exactly one implementation.
+
+* :mod:`repro.experiments.table1` — Table 1 (full-custom estimates vs
+  the manual-layout oracle).
+* :mod:`repro.experiments.table2` — Table 2 (standard-cell estimates vs
+  the place-and-route oracle).
+* :mod:`repro.experiments.central_row` — the Section 4.1 numerical
+  simulation (central row maximises feed-through probability).
+* :mod:`repro.experiments.pipeline` — Figure 1 end-to-end data flow.
+* :mod:`repro.experiments.iterations` — the floor-planning iteration
+  comparison (contribution 2).
+* :mod:`repro.experiments.runtime` — the Section 6 CPU-time claim.
+* :mod:`repro.experiments.ablations` — track-sharing and row-sweep
+  ablations.
+* :mod:`repro.experiments.pla_linearity` — the Gerveshi PLA relation.
+"""
+
+from repro.experiments.central_row import run_central_row_experiment
+from repro.experiments.iterations import run_iteration_experiment
+from repro.experiments.pipeline import run_pipeline_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "run_central_row_experiment",
+    "run_iteration_experiment",
+    "run_pipeline_experiment",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,131 @@
+"""S2 — the Section 6 CPU-time claim.
+
+"The estimator computed for less than 1.5 CPU seconds on a Sun 3/50
+... for all [full-custom] examples" and "less than three CPU seconds
+... for each Standard-Cell example."  On modern hardware the estimator
+is far faster; the claim that survives is the *ratio*: estimation is
+orders of magnitude cheaper than the layout it predicts, which is the
+entire point of estimating before laying out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import estimate_full_custom_both
+from repro.core.standard_cell import estimate_standard_cell
+from repro.layout.annealing import timberwolf_1988_schedule
+from repro.layout.full_custom_flow import layout_full_custom
+from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.reporting import render_table
+from repro.technology.libraries import nmos_process
+from repro.technology.process import ProcessDatabase
+from repro.workloads.suites import table1_suite, table2_suite
+
+#: The paper's per-module budgets (Sun 3/50 CPU seconds).
+PAPER_FULL_CUSTOM_BUDGET_S = 1.5
+PAPER_STANDARD_CELL_BUDGET_S = 3.0
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """Timing of one module under one methodology."""
+
+    methodology: str
+    module_name: str
+    devices: int
+    estimate_seconds: float
+    layout_seconds: float
+
+    @property
+    def speedup_vs_layout(self) -> float:
+        if self.estimate_seconds <= 0:
+            return float("inf")
+        return self.layout_seconds / self.estimate_seconds
+
+
+def run_runtime_experiment(
+    process: Optional[ProcessDatabase] = None,
+    config: Optional[EstimatorConfig] = None,
+) -> List[RuntimeRow]:
+    """Time estimation vs layout for both suites."""
+    process = process or nmos_process()
+    config = config or EstimatorConfig()
+    rows: List[RuntimeRow] = []
+
+    for case in table1_suite():
+        start = time.perf_counter()
+        estimate_full_custom_both(case.module, process, config)
+        est_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        layout_full_custom(case.module, process, seed=case.seed,
+                           config=config)
+        layout_seconds = time.perf_counter() - start
+        rows.append(
+            RuntimeRow(
+                methodology="full-custom",
+                module_name=case.module.name,
+                devices=case.module.device_count,
+                estimate_seconds=est_seconds,
+                layout_seconds=layout_seconds,
+            )
+        )
+
+    schedule = timberwolf_1988_schedule()
+    for case in table2_suite():
+        row_count = case.row_counts[0]
+        start = time.perf_counter()
+        estimate_standard_cell(case.module, process,
+                               config.with_rows(row_count))
+        est_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        layout_standard_cell(case.module, process, rows=row_count,
+                             seed=case.seed, schedule=schedule,
+                             config=config)
+        layout_seconds = time.perf_counter() - start
+        rows.append(
+            RuntimeRow(
+                methodology="standard-cell",
+                module_name=case.module.name,
+                devices=case.module.device_count,
+                estimate_seconds=est_seconds,
+                layout_seconds=layout_seconds,
+            )
+        )
+    return rows
+
+
+def format_runtime(rows: List[RuntimeRow]) -> str:
+    """Render the S2 report."""
+    headers = ("Methodology", "Module", "Devices", "Estimate (ms)",
+               "Layout (ms)", "Layout/estimate")
+    body = [
+        (
+            row.methodology,
+            row.module_name,
+            row.devices,
+            f"{row.estimate_seconds * 1000:.2f}",
+            f"{row.layout_seconds * 1000:.1f}",
+            f"{row.speedup_vs_layout:,.0f}x",
+        )
+        for row in rows
+    ]
+    table = render_table(headers, body, title="S2: estimator runtime")
+    worst_fc = max(
+        (r.estimate_seconds for r in rows if r.methodology == "full-custom"),
+        default=0.0,
+    )
+    worst_sc = max(
+        (r.estimate_seconds for r in rows if r.methodology == "standard-cell"),
+        default=0.0,
+    )
+    summary = (
+        f"worst-case estimate time: full-custom {worst_fc * 1000:.2f} ms "
+        f"(paper budget {PAPER_FULL_CUSTOM_BUDGET_S} s), standard-cell "
+        f"{worst_sc * 1000:.2f} ms (paper budget "
+        f"{PAPER_STANDARD_CELL_BUDGET_S} s)"
+    )
+    return table + "\n" + summary

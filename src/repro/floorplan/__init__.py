@@ -1,0 +1,33 @@
+"""Chip floor planning substrate.
+
+The estimator exists to serve a floor planner (Fig. 1's output "is
+input to the floor planner"; the paper cites Mason and CHAMP).  This
+package provides that consumer:
+
+* :mod:`repro.floorplan.shapes` — shape lists (width/height
+  implementations) with Stockmeyer-style combination and pruning.
+* :mod:`repro.floorplan.slicing` — slicing-tree evaluation via
+  normalised Polish expressions.
+* :mod:`repro.floorplan.floorplanner` — simulated annealing over
+  Polish expressions (Wong-Liu moves).
+* :mod:`repro.floorplan.iteration` — the floor-planning *iteration
+  loop*, reproducing the paper's second contribution: better initial
+  estimates mean fewer estimate -> plan -> layout -> re-plan cycles.
+"""
+
+from repro.floorplan.floorplanner import Floorplan, FloorplanModule, floorplan
+from repro.floorplan.iteration import IterationOutcome, run_iteration_loop
+from repro.floorplan.shapes import Shape, ShapeList
+from repro.floorplan.slicing import PolishExpression, evaluate_expression
+
+__all__ = [
+    "Floorplan",
+    "FloorplanModule",
+    "IterationOutcome",
+    "PolishExpression",
+    "Shape",
+    "ShapeList",
+    "evaluate_expression",
+    "floorplan",
+    "run_iteration_loop",
+]

@@ -1,0 +1,300 @@
+"""Simulated-annealing slicing floorplanner (Wong-Liu style).
+
+Consumes per-module shape lists — typically built from
+:class:`~repro.core.results.ModuleEstimate` records, which is exactly
+the data path of Fig. 1 — and anneals a normalised Polish expression
+with the three classic moves:
+
+* **M1** — swap two adjacent operands;
+* **M2** — complement a chain of operators (V <-> H);
+* **M3** — swap an adjacent operand/operator pair (kept only when the
+  result is still a valid normalised expression).
+
+Energy is the chip bounding-box area of the best root shape (dead
+space minimisation; net wirelength between modules is out of the
+paper's scope).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.results import ModuleEstimate
+from repro.errors import FloorplanError
+from repro.floorplan.shapes import Shape, ShapeList
+from repro.floorplan.slicing import (
+    OPERATORS,
+    evaluate_expression,
+    realize_placement,
+    validate_polish,
+)
+from repro.layout.annealing import AnnealingSchedule, anneal
+from repro.layout.geometry import Rect
+
+
+@dataclass(frozen=True)
+class FloorplanModule:
+    """One module given to the floorplanner."""
+
+    name: str
+    shapes: ShapeList
+
+    @classmethod
+    def from_estimate(
+        cls, estimate: ModuleEstimate, with_rotations: bool = True
+    ) -> "FloorplanModule":
+        """Build the leaf shape list from an estimate record.
+
+        Every methodology present contributes its (width, height); the
+        floorplanner is thereby free to pick the methodology per module,
+        the "trial floor plans for comparing the various different
+        layout methodologies" use case.
+        """
+        pairs: List[Tuple[float, float]] = []
+        if estimate.standard_cell is not None:
+            pairs.append(
+                (estimate.standard_cell.width, estimate.standard_cell.height)
+            )
+        if estimate.full_custom is not None:
+            pairs.append(
+                (estimate.full_custom.width, estimate.full_custom.height)
+            )
+        if not pairs:
+            raise FloorplanError(
+                f"estimate for {estimate.module_name!r} carries no "
+                "methodology results"
+            )
+        return cls(
+            estimate.module_name,
+            ShapeList.from_dimensions(pairs, with_rotations),
+        )
+
+
+@dataclass
+class Floorplan:
+    """A realised chip floorplan."""
+
+    expression: Tuple[str, ...]
+    chip: Shape
+    placements: Dict[str, Rect] = field(default_factory=dict)
+    total_module_area: float = 0.0
+    #: HPWL over the global interconnections, when they were given.
+    global_wirelength: float = 0.0
+
+    @property
+    def area(self) -> float:
+        return self.chip.area
+
+    @property
+    def dead_space_fraction(self) -> float:
+        if self.area == 0:
+            return 0.0
+        return 1.0 - self.total_module_area / self.area
+
+    def slot(self, module: str) -> Rect:
+        try:
+            return self.placements[module]
+        except KeyError:
+            raise FloorplanError(f"module {module!r} not in floorplan") from None
+
+
+def floorplan(
+    modules: Sequence[FloorplanModule],
+    seed: int = 0,
+    schedule: Optional[AnnealingSchedule] = None,
+    global_nets: Optional[Sequence[Sequence[str]]] = None,
+    wirelength_weight: float = 0.0,
+) -> Floorplan:
+    """Floorplan the modules, minimising chip area.
+
+    ``global_nets`` lists the chip's inter-module connections (the
+    "global interconnections" half of the Fig. 1 database): each entry
+    names the modules one net touches.  With a positive
+    ``wirelength_weight`` the annealing cost becomes
+    ``area + weight * HPWL`` over module centres, pulling connected
+    modules together.
+    """
+    if not modules:
+        raise FloorplanError("at least one module is required")
+    if wirelength_weight < 0:
+        raise FloorplanError(
+            f"wirelength_weight must be >= 0, got {wirelength_weight}"
+        )
+    names = [module.name for module in modules]
+    if len(set(names)) != len(names):
+        raise FloorplanError("module names must be unique")
+    shapes: Dict[str, ShapeList] = {
+        module.name: module.shapes for module in modules
+    }
+    nets = _validated_nets(global_nets, set(names))
+
+    if len(modules) == 1:
+        only = modules[0]
+        best = only.shapes.min_area_shape()
+        return Floorplan(
+            expression=(only.name,),
+            chip=best,
+            placements={only.name: Rect(0.0, 0.0, best.width, best.height)},
+            total_module_area=best.area,
+        )
+
+    state = _PolishState(names, shapes, random.Random(seed), nets,
+                         wirelength_weight)
+    if schedule is None:
+        moves = max(40, 10 * len(modules))
+        schedule = AnnealingSchedule(moves_per_stage=moves, stages=50,
+                                     cooling=0.9)
+    anneal(state, schedule, random.Random(seed + 1))
+
+    tokens = tuple(state.tokens)
+    root = evaluate_expression(tokens, shapes)
+    best = root.min_area_shape()
+    placements = realize_placement(tokens, shapes, best)
+    # Each module's placed slot is its allocation; the module's own
+    # min-area shape bounds its true area contribution.
+    module_area = sum(
+        shapes[name].min_area_shape().area for name in names
+    )
+    return Floorplan(
+        expression=tokens,
+        chip=best,
+        placements=placements,
+        total_module_area=module_area,
+        global_wirelength=_hpwl(placements, nets),
+    )
+
+
+def _validated_nets(
+    global_nets: Optional[Sequence[Sequence[str]]],
+    known: set,
+) -> List[Tuple[str, ...]]:
+    if not global_nets:
+        return []
+    validated: List[Tuple[str, ...]] = []
+    for index, net in enumerate(global_nets):
+        members = tuple(dict.fromkeys(net))  # dedupe, keep order
+        unknown = [name for name in members if name not in known]
+        if unknown:
+            raise FloorplanError(
+                f"global net {index} references unknown modules {unknown}"
+            )
+        if len(members) >= 2:
+            validated.append(members)
+    return validated
+
+
+def _hpwl(placements: Dict[str, Rect],
+          nets: List[Tuple[str, ...]]) -> float:
+    total = 0.0
+    for members in nets:
+        xs = [placements[name].center.x for name in members]
+        ys = [placements[name].center.y for name in members]
+        total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+class _PolishState:
+    """Annealing state over normalised Polish expressions."""
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        shapes: Mapping[str, ShapeList],
+        rng: random.Random,
+        nets: Optional[List[Tuple[str, ...]]] = None,
+        wirelength_weight: float = 0.0,
+    ):
+        order = list(names)
+        rng.shuffle(order)
+        tokens: List[str] = [order[0]]
+        for index, name in enumerate(order[1:]):
+            tokens.append(name)
+            tokens.append(OPERATORS[index % 2])
+        self.tokens = tokens
+        self.shapes = shapes
+        self.nets = nets or []
+        self.wirelength_weight = wirelength_weight
+        self._energy = self._compute_energy()
+
+    # -- protocol -------------------------------------------------------
+    def energy(self) -> float:
+        return self._energy
+
+    def propose(self, rng: random.Random) -> Tuple[List[str], float]:
+        token_backup = list(self.tokens)
+        energy_backup = self._energy
+        move = rng.randrange(3)
+        if move == 0:
+            self._swap_adjacent_operands(rng)
+        elif move == 1:
+            self._complement_chain(rng)
+        else:
+            self._swap_operand_operator(rng)
+        self._energy = self._compute_energy()
+        return (token_backup, energy_backup)
+
+    def undo(self, token: Tuple[List[str], float]) -> None:
+        self.tokens, self._energy = list(token[0]), token[1]
+
+    def snapshot(self) -> Tuple[List[str], float]:
+        return (list(self.tokens), self._energy)
+
+    def restore(self, snap: Tuple[List[str], float]) -> None:
+        self.tokens, self._energy = list(snap[0]), snap[1]
+
+    # -- moves ----------------------------------------------------------
+    def _operand_positions(self) -> List[int]:
+        return [i for i, t in enumerate(self.tokens) if t not in OPERATORS]
+
+    def _swap_adjacent_operands(self, rng: random.Random) -> None:
+        positions = self._operand_positions()
+        if len(positions) < 2:
+            return
+        index = rng.randrange(len(positions) - 1)
+        a, b = positions[index], positions[index + 1]
+        self.tokens[a], self.tokens[b] = self.tokens[b], self.tokens[a]
+
+    def _complement_chain(self, rng: random.Random) -> None:
+        operator_positions = [
+            i for i, t in enumerate(self.tokens) if t in OPERATORS
+        ]
+        if not operator_positions:
+            return
+        start = rng.choice(operator_positions)
+        # Extend over the maximal chain of consecutive operators.
+        end = start
+        while end + 1 < len(self.tokens) and self.tokens[end + 1] in OPERATORS:
+            end += 1
+        while start - 1 >= 0 and self.tokens[start - 1] in OPERATORS:
+            start -= 1
+        for i in range(start, end + 1):
+            self.tokens[i] = "H" if self.tokens[i] == "V" else "V"
+
+    def _swap_operand_operator(self, rng: random.Random) -> None:
+        candidates = [
+            i for i in range(len(self.tokens) - 1)
+            if (self.tokens[i] in OPERATORS)
+            != (self.tokens[i + 1] in OPERATORS)
+        ]
+        rng.shuffle(candidates)
+        for index in candidates:
+            trial = list(self.tokens)
+            trial[index], trial[index + 1] = trial[index + 1], trial[index]
+            try:
+                validate_polish(trial)
+            except FloorplanError:
+                continue
+            self.tokens = trial
+            return
+        # No valid M3 exists; leave the expression unchanged.
+
+    def _compute_energy(self) -> float:
+        root = evaluate_expression(self.tokens, self.shapes)
+        best = root.min_area_shape()
+        energy = best.area
+        if self.nets and self.wirelength_weight > 0:
+            placements = realize_placement(self.tokens, self.shapes, best)
+            energy += self.wirelength_weight * _hpwl(placements, self.nets)
+        return energy

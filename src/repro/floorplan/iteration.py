@@ -1,0 +1,152 @@
+"""The floor-planning iteration loop (the paper's second contribution).
+
+"Inaccurate aspect ratio estimates may lead to an unacceptable floor
+plan, requiring another design iteration.  More accurate module aspect
+ratio estimates will significantly reduce the number of floor planning
+iterations."
+
+The loop modelled here is the design process of Section 1:
+
+1. every module gets an *estimated* shape (from some estimator);
+2. the floorplanner allocates a slot per module from the estimates;
+3. each module is then *laid out*, revealing its true shape;
+4. any module whose true shape does not fit its allocated slot (in
+   either orientation, within a tolerance) forces a re-plan, with the
+   offender's estimate replaced by its true shape;
+5. repeat until every module fits.
+
+:func:`run_iteration_loop` counts the iterations.  The C2 benchmark
+runs it twice — once with the paper's estimator, once with a naive
+"cell area times a fudge factor, aspect 1:1" estimator — and compares
+iteration counts and final chip areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.floorplanner import Floorplan, FloorplanModule, floorplan
+from repro.floorplan.shapes import Shape, ShapeList
+from repro.layout.annealing import AnnealingSchedule
+
+#: Maps a module name to its estimated shape options.
+EstimateProvider = Callable[[str], ShapeList]
+#: Maps a module name to its true laid-out shape.
+TruthProvider = Callable[[str], Shape]
+
+
+@dataclass
+class IterationRecord:
+    """One pass through estimate -> plan -> layout -> check."""
+
+    iteration: int
+    chip_area: float
+    misfits: Tuple[str, ...]
+
+
+@dataclass
+class IterationOutcome:
+    """Result of the whole loop."""
+
+    iterations: int
+    converged: bool
+    final_floorplan: Floorplan
+    history: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def final_area(self) -> float:
+        return self.final_floorplan.area
+
+
+def run_iteration_loop(
+    module_names: Sequence[str],
+    estimates: EstimateProvider,
+    truths: TruthProvider,
+    tolerance: float = 0.02,
+    max_iterations: int = 12,
+    seed: int = 0,
+    schedule: Optional[AnnealingSchedule] = None,
+) -> IterationOutcome:
+    """Run the floor-planning iteration loop to convergence.
+
+    ``tolerance`` is the fractional slack a slot has over the true
+    module dimensions before the module counts as a misfit (slots are
+    rarely exact; small overflows are absorbed by channel compaction).
+    """
+    if not module_names:
+        raise FloorplanError("at least one module is required")
+    if max_iterations < 1:
+        raise FloorplanError("max_iterations must be >= 1")
+
+    current_shapes: Dict[str, ShapeList] = {
+        name: estimates(name) for name in module_names
+    }
+    true_shapes: Dict[str, Shape] = {
+        name: truths(name) for name in module_names
+    }
+
+    history: List[IterationRecord] = []
+    plan: Optional[Floorplan] = None
+    for iteration in range(1, max_iterations + 1):
+        modules = [
+            FloorplanModule(name, current_shapes[name])
+            for name in module_names
+        ]
+        plan = floorplan(modules, seed=seed + iteration, schedule=schedule)
+
+        misfits = tuple(
+            name for name in module_names
+            if not _fits(true_shapes[name], plan.slot(name), tolerance)
+        )
+        history.append(
+            IterationRecord(iteration, plan.area, misfits)
+        )
+        if not misfits:
+            return IterationOutcome(
+                iterations=iteration,
+                converged=True,
+                final_floorplan=plan,
+                history=history,
+            )
+        # Designers replace the offending estimates with the now-known
+        # true shapes and re-plan.
+        for name in misfits:
+            truth = true_shapes[name]
+            current_shapes[name] = ShapeList.from_dimensions(
+                [(truth.width, truth.height)], with_rotations=True
+            )
+
+    return IterationOutcome(
+        iterations=max_iterations,
+        converged=False,
+        final_floorplan=plan,
+        history=history,
+    )
+
+
+def naive_estimator(
+    cell_areas: Mapping[str, float], fudge: float = 1.15
+) -> EstimateProvider:
+    """The baseline the paper improves on: a designer's quick rule of
+    thumb — active cell area times a fudge factor, aspect ratio 1:1."""
+
+    def provider(name: str) -> ShapeList:
+        try:
+            area = cell_areas[name]
+        except KeyError:
+            raise FloorplanError(f"no cell area for module {name!r}") from None
+        edge = (area * fudge) ** 0.5
+        return ShapeList.from_dimensions([(edge, edge)],
+                                         with_rotations=False)
+
+    return provider
+
+
+def _fits(shape: Shape, slot, tolerance: float) -> bool:
+    slack = 1.0 + tolerance
+    width, height = slot.width * slack, slot.height * slack
+    return shape.fits_in(width, height) or shape.rotated().fits_in(
+        width, height
+    )

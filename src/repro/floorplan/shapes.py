@@ -1,0 +1,128 @@
+"""Shape lists: the discrete shape curves of slicing floorplanning.
+
+A module implementation is a :class:`Shape` (width, height); a module
+usually has several — the estimator's aspect-ratio output, its
+rotation, alternative row counts.  A :class:`ShapeList` keeps only the
+Pareto-minimal shapes (no shape both wider and taller than another) and
+supports the two Stockmeyer combination operators used when evaluating
+slicing trees:
+
+* :meth:`ShapeList.beside` — vertical cut, children side by side:
+  width adds, height is the max;
+* :meth:`ShapeList.stacked` — horizontal cut, children stacked:
+  height adds, width is the max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import FloorplanError
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One realisable (width, height) implementation of a module."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise FloorplanError(
+                f"shape dimensions must be positive, got "
+                f"{self.width} x {self.height}"
+            )
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def rotated(self) -> "Shape":
+        return Shape(self.height, self.width)
+
+    def fits_in(self, width: float, height: float,
+                tolerance: float = 1e-9) -> bool:
+        return (
+            self.width <= width + tolerance
+            and self.height <= height + tolerance
+        )
+
+
+class ShapeList:
+    """A Pareto-pruned list of shapes, sorted by increasing width."""
+
+    def __init__(self, shapes: Iterable[Shape]):
+        pruned = _prune(list(shapes))
+        if not pruned:
+            raise FloorplanError("shape list must contain at least one shape")
+        self._shapes: Tuple[Shape, ...] = tuple(pruned)
+
+    @classmethod
+    def from_dimensions(
+        cls, pairs: Iterable[Tuple[float, float]], with_rotations: bool = True
+    ) -> "ShapeList":
+        shapes: List[Shape] = []
+        for width, height in pairs:
+            shape = Shape(width, height)
+            shapes.append(shape)
+            if with_rotations:
+                shapes.append(shape.rotated())
+        return cls(shapes)
+
+    @property
+    def shapes(self) -> Tuple[Shape, ...]:
+        return self._shapes
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def __iter__(self):
+        return iter(self._shapes)
+
+    def min_area_shape(self) -> Shape:
+        return min(self._shapes, key=lambda shape: shape.area)
+
+    def best_fit(self, width: float, height: float) -> Optional[Shape]:
+        """Smallest-area shape fitting the given envelope, or None."""
+        fitting = [s for s in self._shapes if s.fits_in(width, height)]
+        if not fitting:
+            return None
+        return min(fitting, key=lambda shape: shape.area)
+
+    # ------------------------------------------------------------------
+    # Stockmeyer combination
+    # ------------------------------------------------------------------
+    def beside(self, other: "ShapeList") -> "ShapeList":
+        """Vertical cut: children placed side by side."""
+        combined = [
+            Shape(a.width + b.width, max(a.height, b.height))
+            for a in self._shapes
+            for b in other._shapes
+        ]
+        return ShapeList(combined)
+
+    def stacked(self, other: "ShapeList") -> "ShapeList":
+        """Horizontal cut: children stacked vertically."""
+        combined = [
+            Shape(max(a.width, b.width), a.height + b.height)
+            for a in self._shapes
+            for b in other._shapes
+        ]
+        return ShapeList(combined)
+
+
+def _prune(shapes: Sequence[Shape]) -> List[Shape]:
+    """Keep the Pareto frontier: strictly decreasing height as width
+    grows; duplicates collapse."""
+    ordered = sorted(shapes, key=lambda s: (s.width, s.height))
+    frontier: List[Shape] = []
+    for shape in ordered:
+        # Sorted by width ascending, so `shape` is at least as wide as
+        # everything kept; it survives only by being strictly shorter
+        # than the shortest kept shape (the last one).
+        if frontier and shape.height >= frontier[-1].height:
+            continue
+        frontier.append(shape)
+    return frontier

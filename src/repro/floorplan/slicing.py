@@ -1,0 +1,231 @@
+"""Slicing trees as normalised Polish expressions.
+
+A slicing floorplan is a binary tree whose leaves are modules and whose
+internal nodes are cuts: ``V`` (vertical cut — children side by side)
+or ``H`` (horizontal cut — children stacked).  Following Wong & Liu,
+the tree is represented as a postfix (Polish) expression over module
+ids and the operators ``"V"``/``"H"``; *normalised* means no two
+consecutive identical operators, which makes the expression <-> tree
+mapping one-to-one.
+
+:func:`evaluate_expression` runs Stockmeyer shape-curve combination
+over the expression, returning the root :class:`ShapeList` and, on
+request, concrete placement rectangles for the min-area realisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import FloorplanError
+from repro.floorplan.shapes import Shape, ShapeList
+from repro.layout.geometry import Rect
+
+OPERATORS = ("V", "H")
+
+
+@dataclass(frozen=True)
+class PolishExpression:
+    """A normalised Polish expression over module names."""
+
+    tokens: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        validate_polish(self.tokens)
+
+    @classmethod
+    def initial(cls, modules: Sequence[str]) -> "PolishExpression":
+        """A canonical starting expression: m0 m1 V m2 H m3 V ... —
+        alternating cuts, trivially normalised."""
+        if not modules:
+            raise FloorplanError("at least one module is required")
+        if len(modules) == 1:
+            return cls((modules[0],))
+        tokens: List[str] = [modules[0]]
+        for index, module in enumerate(modules[1:]):
+            tokens.append(module)
+            tokens.append(OPERATORS[index % 2])
+        return cls(tuple(tokens))
+
+    @property
+    def operand_positions(self) -> Tuple[int, ...]:
+        return tuple(
+            i for i, token in enumerate(self.tokens)
+            if token not in OPERATORS
+        )
+
+    @property
+    def operator_positions(self) -> Tuple[int, ...]:
+        return tuple(
+            i for i, token in enumerate(self.tokens) if token in OPERATORS
+        )
+
+
+def validate_polish(tokens: Sequence[str]) -> None:
+    """Check the balloting property, arity, and normalisation."""
+    if not tokens:
+        raise FloorplanError("empty Polish expression")
+    operands = 0
+    operators = 0
+    previous: Optional[str] = None
+    seen: set = set()
+    for token in tokens:
+        if token in OPERATORS:
+            operators += 1
+            if operators >= operands:
+                raise FloorplanError(
+                    "balloting property violated: operator before enough "
+                    "operands"
+                )
+            if previous == token:
+                raise FloorplanError(
+                    f"expression is not normalised: consecutive {token!r}"
+                )
+        else:
+            operands += 1
+            if token in seen:
+                raise FloorplanError(f"module {token!r} appears twice")
+            seen.add(token)
+        previous = token
+    if operators != operands - 1:
+        raise FloorplanError(
+            f"malformed expression: {operands} operands need "
+            f"{operands - 1} operators, found {operators}"
+        )
+
+
+def evaluate_expression(
+    expression: Union[PolishExpression, Sequence[str]],
+    shapes: Mapping[str, ShapeList],
+) -> ShapeList:
+    """Root shape list of the slicing tree (Stockmeyer combination)."""
+    tokens = (
+        expression.tokens
+        if isinstance(expression, PolishExpression)
+        else tuple(expression)
+    )
+    stack: List[ShapeList] = []
+    for token in tokens:
+        if token in OPERATORS:
+            right = stack.pop()
+            left = stack.pop()
+            stack.append(
+                left.beside(right) if token == "V" else left.stacked(right)
+            )
+        else:
+            try:
+                stack.append(shapes[token])
+            except KeyError:
+                raise FloorplanError(
+                    f"no shape list for module {token!r}"
+                ) from None
+    if len(stack) != 1:
+        raise FloorplanError("malformed expression: stack not reduced")
+    return stack[0]
+
+
+def realize_placement(
+    expression: Union[PolishExpression, Sequence[str]],
+    shapes: Mapping[str, ShapeList],
+    target: Optional[Shape] = None,
+) -> Dict[str, Rect]:
+    """Concrete rectangles for each module.
+
+    ``target`` picks which root shape to realise (default: min area).
+    The placement recursion re-runs Stockmeyer top-down, at each node
+    choosing the child shape pair that realises the node's shape.
+    """
+    tokens = (
+        expression.tokens
+        if isinstance(expression, PolishExpression)
+        else tuple(expression)
+    )
+    root = _build_tree(tokens, shapes)
+    root_shapes = root.shape_list
+    shape = target or root_shapes.min_area_shape()
+    if all(s != shape for s in root_shapes):
+        raise FloorplanError(f"target shape {shape} is not realisable")
+    placement: Dict[str, Rect] = {}
+    _place(root, shape, 0.0, 0.0, placement)
+    return placement
+
+
+# ----------------------------------------------------------------------
+# internal tree for placement realisation
+# ----------------------------------------------------------------------
+class _Node:
+    def __init__(
+        self,
+        operator: Optional[str],
+        name: Optional[str],
+        left: Optional["_Node"],
+        right: Optional["_Node"],
+        shape_list: ShapeList,
+    ):
+        self.operator = operator
+        self.name = name
+        self.left = left
+        self.right = right
+        self.shape_list = shape_list
+
+
+def _build_tree(
+    tokens: Sequence[str], shapes: Mapping[str, ShapeList]
+) -> _Node:
+    stack: List[_Node] = []
+    for token in tokens:
+        if token in OPERATORS:
+            right = stack.pop()
+            left = stack.pop()
+            combined = (
+                left.shape_list.beside(right.shape_list)
+                if token == "V"
+                else left.shape_list.stacked(right.shape_list)
+            )
+            stack.append(_Node(token, None, left, right, combined))
+        else:
+            try:
+                stack.append(_Node(None, token, None, None, shapes[token]))
+            except KeyError:
+                raise FloorplanError(
+                    f"no shape list for module {token!r}"
+                ) from None
+    if len(stack) != 1:
+        raise FloorplanError("malformed expression: stack not reduced")
+    return stack[0]
+
+
+def _place(
+    node: _Node, shape: Shape, x: float, y: float,
+    placement: Dict[str, Rect],
+) -> None:
+    if node.name is not None:
+        placement[node.name] = Rect(x, y, shape.width, shape.height)
+        return
+    left_shape, right_shape = _split_shape(node, shape)
+    if node.operator == "V":
+        _place(node.left, left_shape, x, y, placement)
+        _place(node.right, right_shape, x + left_shape.width, y, placement)
+    else:
+        _place(node.left, left_shape, x, y, placement)
+        _place(node.right, right_shape, x, y + left_shape.height, placement)
+
+
+def _split_shape(node: _Node, shape: Shape) -> Tuple[Shape, Shape]:
+    """Find child shapes whose combination realises ``shape``."""
+    tolerance = 1e-9
+    for left in node.left.shape_list:
+        for right in node.right.shape_list:
+            if node.operator == "V":
+                width = left.width + right.width
+                height = max(left.height, right.height)
+            else:
+                width = max(left.width, right.width)
+                height = left.height + right.height
+            if (abs(width - shape.width) <= tolerance
+                    and abs(height - shape.height) <= tolerance):
+                return left, right
+    raise FloorplanError(
+        f"shape {shape} cannot be realised at operator {node.operator!r}"
+    )

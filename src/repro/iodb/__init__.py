@@ -1,0 +1,10 @@
+"""Estimate interchange database (Fig. 1's output side).
+
+"These results are stored in a data base, which also contains the
+global module descriptions ... This data base is input to the floor
+planner."
+"""
+
+from repro.iodb.database import EstimateDatabase
+
+__all__ = ["EstimateDatabase"]

@@ -1,0 +1,317 @@
+"""Persistent store for module estimates.
+
+The database is the file interface between the estimator and the floor
+planner: each :class:`~repro.core.results.ModuleEstimate` serialises to
+a JSON record carrying both methodologies' areas and shapes plus the
+module statistics the floor planner's global view needs.
+
+Round-trip fidelity is tested: ``load(save(db))`` preserves every
+numeric field exactly (JSON floats are IEEE doubles end to end).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.core.results import (
+    FullCustomEstimate,
+    ModuleEstimate,
+    StandardCellEstimate,
+)
+from repro.errors import DatabaseError
+from repro.netlist.stats import ModuleStatistics
+
+_FORMAT_VERSION = 1
+
+
+class EstimateDatabase:
+    """An ordered collection of module estimates, keyed by module name."""
+
+    def __init__(self, process_name: str = ""):
+        self.process_name = process_name
+        self._records: Dict[str, ModuleEstimate] = {}
+        #: The chip's global interconnections (Fig. 1: the database
+        #: "also contains ... global interconnections for the whole
+        #: chip"): each entry names the modules one chip-level net
+        #: touches.  The floorplanner consumes this for its
+        #: wirelength term.
+        self._global_nets: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # global interconnections
+    # ------------------------------------------------------------------
+    @property
+    def global_nets(self) -> List[tuple]:
+        return list(self._global_nets)
+
+    def set_global_nets(self, nets) -> None:
+        """Record the chip-level nets (iterables of module names).
+
+        Every referenced module must already have an estimate stored.
+        """
+        validated = []
+        for index, net in enumerate(nets):
+            members = tuple(net)
+            unknown = [m for m in members if m not in self._records]
+            if unknown:
+                raise DatabaseError(
+                    f"global net {index} references modules without "
+                    f"estimates: {unknown}"
+                )
+            if len(members) >= 2:
+                validated.append(members)
+        self._global_nets = validated
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    def add(self, estimate: ModuleEstimate, replace: bool = False) -> None:
+        if not replace and estimate.module_name in self._records:
+            raise DatabaseError(
+                f"estimate for module {estimate.module_name!r} already "
+                "stored (pass replace=True to overwrite)"
+            )
+        if self.process_name and estimate.process_name != self.process_name:
+            raise DatabaseError(
+                f"estimate for {estimate.module_name!r} uses process "
+                f"{estimate.process_name!r} but the database holds "
+                f"{self.process_name!r}"
+            )
+        if not self.process_name:
+            self.process_name = estimate.process_name
+        self._records[estimate.module_name] = estimate
+
+    def get(self, module_name: str) -> ModuleEstimate:
+        try:
+            return self._records[module_name]
+        except KeyError:
+            raise DatabaseError(
+                f"no estimate stored for module {module_name!r}"
+            ) from None
+
+    def __contains__(self, module_name: str) -> bool:
+        return module_name in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ModuleEstimate]:
+        return iter(self._records.values())
+
+    @property
+    def module_names(self) -> List[str]:
+        return list(self._records)
+
+    def total_estimated_area(self, methodology: str = "standard-cell") -> float:
+        """Chip-level area sum — the floor planner's starting point."""
+        total = 0.0
+        for record in self._records.values():
+            if methodology == "standard-cell":
+                if record.standard_cell is None:
+                    raise DatabaseError(
+                        f"module {record.module_name!r} has no "
+                        "standard-cell estimate"
+                    )
+                total += record.standard_cell.area
+            elif methodology == "full-custom":
+                if record.full_custom is None:
+                    raise DatabaseError(
+                        f"module {record.module_name!r} has no "
+                        "full-custom estimate"
+                    )
+                total += record.full_custom.area
+            else:
+                raise DatabaseError(f"unknown methodology {methodology!r}")
+        return total
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "process_name": self.process_name,
+            "modules": [_estimate_to_dict(r) for r in self._records.values()],
+            "global_nets": [list(net) for net in self._global_nets],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EstimateDatabase":
+        version = data.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise DatabaseError(
+                f"unsupported database format version {version!r}"
+            )
+        database = cls(data.get("process_name", ""))
+        try:
+            for record in data.get("modules", []):
+                database.add(_estimate_from_dict(record))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatabaseError(f"malformed estimate record: {exc}") from exc
+        database.set_global_nets(data.get("global_nets", []))
+        return database
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "EstimateDatabase":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DatabaseError(
+                f"cannot read estimate database {path}: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation helpers
+# ----------------------------------------------------------------------
+def _estimate_to_dict(record: ModuleEstimate) -> Dict[str, Any]:
+    return {
+        "module_name": record.module_name,
+        "process_name": record.process_name,
+        "cpu_seconds": record.cpu_seconds,
+        "statistics": _stats_to_dict(record.statistics),
+        "standard_cell": _sc_to_dict(record.standard_cell),
+        "full_custom": _fc_to_dict(record.full_custom),
+        "full_custom_average": _fc_to_dict(record.full_custom_average),
+    }
+
+
+def _estimate_from_dict(data: Dict[str, Any]) -> ModuleEstimate:
+    return ModuleEstimate(
+        module_name=data["module_name"],
+        statistics=_stats_from_dict(data["statistics"]),
+        process_name=data["process_name"],
+        standard_cell=_sc_from_dict(data.get("standard_cell")),
+        full_custom=_fc_from_dict(data.get("full_custom")),
+        full_custom_average=_fc_from_dict(data.get("full_custom_average")),
+        cpu_seconds=float(data.get("cpu_seconds", 0.0)),
+    )
+
+
+def _stats_to_dict(stats: ModuleStatistics) -> Dict[str, Any]:
+    return {
+        "module_name": stats.module_name,
+        "device_count": stats.device_count,
+        "net_count": stats.net_count,
+        "port_count": stats.port_count,
+        "width_histogram": [list(pair) for pair in stats.width_histogram],
+        "net_size_histogram": [
+            list(pair) for pair in stats.net_size_histogram
+        ],
+        "average_width": stats.average_width,
+        "average_height": stats.average_height,
+        "total_device_area": stats.total_device_area,
+        "total_port_width": stats.total_port_width,
+        "max_net_size": stats.max_net_size,
+    }
+
+
+def _stats_from_dict(data: Dict[str, Any]) -> ModuleStatistics:
+    return ModuleStatistics(
+        module_name=data["module_name"],
+        device_count=int(data["device_count"]),
+        net_count=int(data["net_count"]),
+        port_count=int(data["port_count"]),
+        width_histogram=tuple(
+            (float(w), int(x)) for w, x in data["width_histogram"]
+        ),
+        net_size_histogram=tuple(
+            (int(d), int(y)) for d, y in data["net_size_histogram"]
+        ),
+        average_width=float(data["average_width"]),
+        average_height=float(data["average_height"]),
+        total_device_area=float(data["total_device_area"]),
+        total_port_width=float(data["total_port_width"]),
+        max_net_size=int(data["max_net_size"]),
+    )
+
+
+def _sc_to_dict(
+    estimate: Optional[StandardCellEstimate],
+) -> Optional[Dict[str, Any]]:
+    if estimate is None:
+        return None
+    return {
+        "module_name": estimate.module_name,
+        "rows": estimate.rows,
+        "cell_width_per_row": estimate.cell_width_per_row,
+        "feedthroughs": estimate.feedthroughs,
+        "feedthrough_width": estimate.feedthrough_width,
+        "tracks": estimate.tracks,
+        "tracks_by_net_size": [
+            list(pair) for pair in estimate.tracks_by_net_size
+        ],
+        "width": estimate.width,
+        "height": estimate.height,
+        "cell_area": estimate.cell_area,
+        "wiring_area": estimate.wiring_area,
+        "area": estimate.area,
+    }
+
+
+def _sc_from_dict(
+    data: Optional[Dict[str, Any]],
+) -> Optional[StandardCellEstimate]:
+    if data is None:
+        return None
+    return StandardCellEstimate(
+        module_name=data["module_name"],
+        rows=int(data["rows"]),
+        cell_width_per_row=float(data["cell_width_per_row"]),
+        feedthroughs=int(data["feedthroughs"]),
+        feedthrough_width=float(data["feedthrough_width"]),
+        tracks=int(data["tracks"]),
+        tracks_by_net_size=tuple(
+            (int(d), int(t)) for d, t in data["tracks_by_net_size"]
+        ),
+        width=float(data["width"]),
+        height=float(data["height"]),
+        cell_area=float(data["cell_area"]),
+        wiring_area=float(data["wiring_area"]),
+        area=float(data["area"]),
+    )
+
+
+def _fc_to_dict(
+    estimate: Optional[FullCustomEstimate],
+) -> Optional[Dict[str, Any]]:
+    if estimate is None:
+        return None
+    return {
+        "module_name": estimate.module_name,
+        "device_area_mode": estimate.device_area_mode,
+        "device_area": estimate.device_area,
+        "wire_area": estimate.wire_area,
+        "area": estimate.area,
+        "width": estimate.width,
+        "height": estimate.height,
+        "net_areas": [list(pair) for pair in estimate.net_areas],
+    }
+
+
+def _fc_from_dict(
+    data: Optional[Dict[str, Any]],
+) -> Optional[FullCustomEstimate]:
+    if data is None:
+        return None
+    return FullCustomEstimate(
+        module_name=data["module_name"],
+        device_area_mode=data["device_area_mode"],
+        device_area=float(data["device_area"]),
+        wire_area=float(data["wire_area"]),
+        area=float(data["area"]),
+        width=float(data["width"]),
+        height=float(data["height"]),
+        net_areas=tuple(
+            (str(name), float(area)) for name, area in data["net_areas"]
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Layout substrate: the "real layout" oracles the paper compared against.
+
+The paper's Table 1 compares estimates to *manually created* full-custom
+layouts, and Table 2 to *TimberWolf 3.2* standard-cell place-and-route
+results.  Neither artifact is available, so this package implements the
+equivalent machinery:
+
+* :mod:`repro.layout.placement` — simulated-annealing row placement
+  (TimberWolf's algorithm family).
+* :mod:`repro.layout.routing` — feed-through insertion, global routing,
+  and a left-edge channel router (the part that *shares tracks*, which
+  the estimator deliberately ignores).
+* :mod:`repro.layout.standard_cell_flow` — the end-to-end standard-cell
+  flow producing real module areas/tracks for Table 2.
+* :mod:`repro.layout.full_custom_flow` — a connectivity-driven device
+  packer + net-routing model standing in for the manual layouts of
+  Table 1.
+* :mod:`repro.layout.geometry` / :mod:`repro.layout.annealing` — shared
+  geometry and a generic simulated-annealing engine.
+"""
+
+from repro.layout.annealing import (
+    AnnealingSchedule,
+    anneal,
+    timberwolf_1988_schedule,
+)
+from repro.layout.full_custom_flow import FullCustomLayout, layout_full_custom
+from repro.layout.geometry import Interval, Point, Rect
+from repro.layout.standard_cell_flow import StandardCellLayout, layout_standard_cell
+
+__all__ = [
+    "AnnealingSchedule",
+    "FullCustomLayout",
+    "Interval",
+    "Point",
+    "Rect",
+    "StandardCellLayout",
+    "anneal",
+    "layout_full_custom",
+    "layout_standard_cell",
+    "timberwolf_1988_schedule",
+]

@@ -1,0 +1,171 @@
+"""Generic simulated-annealing engine.
+
+Both the row placer (the TimberWolf stand-in) and the slicing
+floorplanner are annealers; this module factors out the Metropolis
+loop so each client only supplies *moves*.
+
+The client contract is in-place mutation with undo, which avoids
+copying the whole state on every trial move:
+
+* ``energy()`` — current cost (lower is better);
+* ``propose(rng)`` — mutate the state, return an opaque undo token;
+* ``undo(token)`` — exactly revert the proposal;
+* optionally ``snapshot()`` / ``restore(snap)`` — capture the best
+  state seen, restored at the end.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol
+
+from repro.errors import LayoutError
+
+
+class AnnealingState(Protocol):
+    """What the engine needs from a client state."""
+
+    def energy(self) -> float: ...
+
+    def propose(self, rng: random.Random) -> Any: ...
+
+    def undo(self, token: Any) -> None: ...
+
+    def snapshot(self) -> Any: ...
+
+    def restore(self, snap: Any) -> None: ...
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling schedule.
+
+    ``initial_acceptance`` calibrates the starting temperature from the
+    observed uphill move sizes (classic TimberWolf practice) when
+    ``initial_temperature`` is not given explicitly.
+    """
+
+    moves_per_stage: int = 200
+    stages: int = 60
+    cooling: float = 0.9
+    initial_temperature: Optional[float] = None
+    initial_acceptance: float = 0.8
+    min_temperature: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.moves_per_stage < 1:
+            raise LayoutError("moves_per_stage must be >= 1")
+        if self.stages < 1:
+            raise LayoutError("stages must be >= 1")
+        if not 0.0 < self.cooling < 1.0:
+            raise LayoutError(
+                f"cooling must be in (0, 1), got {self.cooling}"
+            )
+        if self.initial_temperature is not None and self.initial_temperature <= 0:
+            raise LayoutError("initial_temperature must be positive")
+        if not 0.0 < self.initial_acceptance < 1.0:
+            raise LayoutError("initial_acceptance must be in (0, 1)")
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one annealing run."""
+
+    best_energy: float
+    final_energy: float
+    accepted_moves: int
+    attempted_moves: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.attempted_moves == 0:
+            return 0.0
+        return self.accepted_moves / self.attempted_moves
+
+
+def timberwolf_1988_schedule() -> AnnealingSchedule:
+    """An annealing budget matching the paper's era.
+
+    TimberWolf 3.2 on a Sun 3/50 ran minutes-scale anneals on small
+    modules; this short schedule reproduces that placement quality.
+    The Table 2 benchmark uses it for the "real layout" oracle so the
+    comparison is against 1988-grade place-and-route rather than a
+    modern long anneal (which shares tracks even better and widens the
+    estimator's overestimate — see the A1 ablation benchmark).
+    """
+    return AnnealingSchedule(moves_per_stage=40, stages=8, cooling=0.75)
+
+
+def anneal(
+    state: AnnealingState,
+    schedule: Optional[AnnealingSchedule] = None,
+    rng: Optional[random.Random] = None,
+) -> AnnealingResult:
+    """Run Metropolis simulated annealing on ``state`` in place.
+
+    The state is left in the *best* configuration encountered (via
+    snapshot/restore), not merely the final one.
+    """
+    schedule = schedule or AnnealingSchedule()
+    rng = rng or random.Random(0)
+
+    energy = state.energy()
+    best_energy = energy
+    best_snapshot = state.snapshot()
+
+    temperature = (
+        schedule.initial_temperature
+        if schedule.initial_temperature is not None
+        else _calibrate_temperature(state, schedule, rng)
+    )
+
+    accepted = 0
+    attempted = 0
+    for _ in range(schedule.stages):
+        for _ in range(schedule.moves_per_stage):
+            attempted += 1
+            token = state.propose(rng)
+            new_energy = state.energy()
+            delta = new_energy - energy
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                accepted += 1
+                energy = new_energy
+                if energy < best_energy:
+                    best_energy = energy
+                    best_snapshot = state.snapshot()
+            else:
+                state.undo(token)
+        temperature = max(temperature * schedule.cooling,
+                          schedule.min_temperature)
+
+    state.restore(best_snapshot)
+    return AnnealingResult(
+        best_energy=best_energy,
+        final_energy=state.energy(),
+        accepted_moves=accepted,
+        attempted_moves=attempted,
+    )
+
+
+def _calibrate_temperature(
+    state: AnnealingState,
+    schedule: AnnealingSchedule,
+    rng: random.Random,
+    samples: int = 50,
+) -> float:
+    """Pick T0 so an average uphill move is accepted with the requested
+    probability (all probe moves are undone)."""
+    uphill: list = []
+    energy = state.energy()
+    for _ in range(samples):
+        token = state.propose(rng)
+        delta = state.energy() - energy
+        state.undo(token)
+        if delta > 0:
+            uphill.append(delta)
+    if not uphill:
+        return 1.0
+    average = sum(uphill) / len(uphill)
+    return max(average / -math.log(schedule.initial_acceptance), 1e-9)

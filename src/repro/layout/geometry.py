@@ -1,0 +1,162 @@
+"""Planar geometry primitives for layout flows.
+
+Everything is axis-aligned and in lambda units.  :class:`Rect` uses a
+(x, y, width, height) representation with y growing upward; rows are
+stacked bottom-to-top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A planar point."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> float:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (x, y at the lower-left corner)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise LayoutError(
+                f"rectangle dimensions must be >= 0, got "
+                f"{self.width} x {self.height}"
+            )
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def top(self) -> float:
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(self.x + self.width / 2, self.y + self.height / 2)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Strict interior overlap (shared edges do not count)."""
+        return (
+            self.x < other.right
+            and other.x < self.right
+            and self.y < other.top
+            and other.y < self.top
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        return (
+            self.x <= point.x <= self.right
+            and self.y <= point.y <= self.top
+        )
+
+    def contains_rect(self, other: "Rect", tolerance: float = 0.0) -> bool:
+        """Containment; ``tolerance`` absorbs the one-ulp error of the
+        (x, width) representation after unions."""
+        return (
+            self.x <= other.x + tolerance
+            and self.y <= other.y + tolerance
+            and other.right <= self.right + tolerance
+            and other.top <= self.top + tolerance
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        right = max(self.right, other.right)
+        top = max(self.top, other.top)
+        return Rect(x, y, right - x, top - y)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle containing all the given rectangles."""
+    rects = list(rects)
+    if not rects:
+        raise LayoutError("bounding_box of an empty collection")
+    box = rects[0]
+    for rect in rects[1:]:
+        box = box.union(rect)
+    return box
+
+
+def half_perimeter(points: Iterable[Point]) -> float:
+    """Half-perimeter wirelength (HPWL) of a point set — the classic
+    placement cost; 0 for fewer than two points."""
+    points = list(points)
+    if len(points) < 2:
+        return 0.0
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A horizontal interval [left, right] used by the channel router."""
+
+    left: float
+    right: float
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise LayoutError(
+                f"interval right ({self.right}) < left ({self.left})"
+            )
+
+    @property
+    def length(self) -> float:
+        return self.right - self.left
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Closed-interval overlap: touching endpoints conflict (two
+        wires may not abut end-to-end on one track without a gap)."""
+        return self.left <= other.right and other.left <= self.right
+
+    def merged(self, other: "Interval") -> "Interval":
+        return Interval(min(self.left, other.left), max(self.right, other.right))
+
+
+def interval_density(intervals: Iterable[Interval]) -> int:
+    """Maximum number of intervals covering any single x — the channel
+    *density*, a lower bound on (and for unconstrained routing, equal
+    to) the required track count."""
+    events: List[Tuple[float, int]] = []
+    for interval in intervals:
+        events.append((interval.left, 1))
+        events.append((interval.right, -1))
+    # Opens sort before closes at the same x: closed intervals touching
+    # at a point do conflict.
+    events.sort(key=lambda item: (item[0], -item[1]))
+    depth = 0
+    best = 0
+    for _, delta in events:
+        depth += delta
+        best = max(best, depth)
+    return best

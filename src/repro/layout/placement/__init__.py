@@ -1,0 +1,14 @@
+"""Standard-cell row placement (the TimberWolf 3.2 stand-in).
+
+:func:`place_module` runs simulated annealing over row assignments and
+in-row orderings, minimising half-perimeter wirelength — the same cost
+family TimberWolf optimised.
+"""
+
+from repro.layout.placement.row_placer import (
+    Placement,
+    PlacedCell,
+    place_module,
+)
+
+__all__ = ["PlacedCell", "Placement", "place_module"]

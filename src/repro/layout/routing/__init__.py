@@ -1,0 +1,29 @@
+"""Routing substrate for the standard-cell flow.
+
+Three stages, mirroring a classic channel-routed standard-cell system:
+
+* :mod:`repro.layout.routing.feedthrough` — insert feed-through cells
+  into rows a net must cross.
+* :mod:`repro.layout.routing.global_route` — assign each net a
+  horizontal interval in every channel it traverses.
+* :mod:`repro.layout.routing.channel` — the left-edge channel router
+  (optionally with vertical constraints) assigning intervals to shared
+  tracks; this sharing is exactly what the paper's estimator ignores.
+"""
+
+from repro.layout.routing.channel import (
+    ChannelNet,
+    ChannelResult,
+    route_channel,
+)
+from repro.layout.routing.feedthrough import insert_feedthroughs
+from repro.layout.routing.global_route import ChannelAssignment, global_route
+
+__all__ = [
+    "ChannelAssignment",
+    "ChannelNet",
+    "ChannelResult",
+    "global_route",
+    "insert_feedthroughs",
+    "route_channel",
+]

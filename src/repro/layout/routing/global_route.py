@@ -1,0 +1,132 @@
+"""Global routing: assign nets to channel intervals.
+
+Channel numbering: with n rows there are n + 1 channels; channel k runs
+*below* row k for k = 0..n-1, and channel n runs above the top row.
+A net occupying consecutive rows r..R (feed-through insertion
+guarantees consecutiveness) places one horizontal trunk in every
+channel k = r+1..R, spanning the pins it owns in rows k-1 and k.
+Single-row nets route in the channel directly above their row.
+
+The output per channel is a list of :class:`ChannelNet` records with
+the trunk interval plus top/bottom pin columns — everything the channel
+router needs, including vertical-constraint information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Interval
+from repro.layout.placement.row_placer import Placement
+from repro.layout.routing.channel import ChannelNet
+
+
+@dataclass
+class ChannelAssignment:
+    """Nets assigned to every channel of a placement."""
+
+    rows: int
+    channels: Dict[int, List[ChannelNet]] = field(default_factory=dict)
+
+    def channel_nets(self, channel: int) -> List[ChannelNet]:
+        return self.channels.get(channel, [])
+
+    @property
+    def occupied_channels(self) -> Tuple[int, ...]:
+        return tuple(sorted(k for k, nets in self.channels.items() if nets))
+
+
+def global_route(
+    placement: Placement,
+    external_nets: Iterable[str] = (),
+) -> ChannelAssignment:
+    """Assign every placed net to channel intervals.
+
+    ``external_nets`` names nets that reach module ports: their trunk in
+    the net's lowest channel is extended to the nearest vertical module
+    edge, modelling the I/O wiring a real flow routes to the boundary.
+    """
+    external = set(external_nets)
+    module_width = placement.width
+    assignment = ChannelAssignment(rows=placement.rows)
+    channels: Dict[int, Dict[str, _TrunkBuilder]] = {}
+
+    for net_name, members in placement.nets.items():
+        pins = [placement.cells[name] for name in members]
+        pin_rows = sorted({pin.row for pin in pins})
+        if len(pin_rows) == 1:
+            trunk_channels = [pin_rows[0] + 1]
+        else:
+            low, high = pin_rows[0], pin_rows[-1]
+            if pin_rows != list(range(low, high + 1)):
+                raise LayoutError(
+                    f"net {net_name!r} occupies non-consecutive rows "
+                    f"{pin_rows}; run feed-through insertion first"
+                )
+            trunk_channels = list(range(low + 1, high + 1))
+
+        for channel in trunk_channels:
+            builder = channels.setdefault(channel, {}).setdefault(
+                net_name, _TrunkBuilder(net_name)
+            )
+            for pin in pins:
+                # Pins in row channel-1 face up into the channel
+                # (bottom pins); pins in row channel face down (top).
+                if pin.row == channel - 1:
+                    builder.bottom.append(pin.center)
+                elif pin.row == channel:
+                    builder.top.append(pin.center)
+                # Feed-through cells span their whole row, presenting a
+                # pin to both adjacent channels; ordinary cells in other
+                # rows connect through their own channels only.
+            if not builder.top and not builder.bottom:
+                raise LayoutError(
+                    f"net {net_name!r}: no pins face channel {channel}"
+                )
+
+    for channel, builders in channels.items():
+        nets = []
+        for builder in builders.values():
+            net = builder.build()
+            if (net.name in external
+                    and channel == min(c for c in channels
+                                       if net.name in channels[c])):
+                net = _extend_to_edge(net, module_width)
+            nets.append(net)
+        nets.sort(key=lambda net: (net.interval.left, net.name))
+        assignment.channels[channel] = nets
+    return assignment
+
+
+def _extend_to_edge(net: ChannelNet, module_width: float) -> ChannelNet:
+    """Stretch an external net's trunk to the nearest vertical edge."""
+    left_gap = net.interval.left
+    right_gap = max(0.0, module_width - net.interval.right)
+    if left_gap <= right_gap:
+        interval = Interval(0.0, net.interval.right)
+    else:
+        interval = Interval(net.interval.left, module_width)
+    return ChannelNet(
+        name=net.name,
+        interval=interval,
+        top_columns=net.top_columns,
+        bottom_columns=net.bottom_columns,
+    )
+
+
+@dataclass
+class _TrunkBuilder:
+    name: str
+    top: List[float] = field(default_factory=list)
+    bottom: List[float] = field(default_factory=list)
+
+    def build(self) -> ChannelNet:
+        columns = self.top + self.bottom
+        return ChannelNet(
+            name=self.name,
+            interval=Interval(min(columns), max(columns)),
+            top_columns=tuple(sorted(self.top)),
+            bottom_columns=tuple(sorted(self.bottom)),
+        )

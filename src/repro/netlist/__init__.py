@@ -1,0 +1,60 @@
+"""Netlist substrate: circuit data model, parsers, writers, statistics.
+
+The estimator consumes a *module*: a named circuit with external ports,
+device instances, and the nets wiring them together.  This package
+provides:
+
+* :mod:`repro.netlist.model` — the in-memory circuit representation
+  (:class:`Module`, :class:`Device`, :class:`Net`, :class:`Port`).
+* :mod:`repro.netlist.builder` — a fluent programmatic constructor.
+* :mod:`repro.netlist.verilog` — structural-Verilog subset parser, the
+  paper's "circuit schematic expressed in a standard hardware description
+  language".
+* :mod:`repro.netlist.spice` — SPICE-deck parser for transistor-level
+  (full-custom) modules.
+* :mod:`repro.netlist.writers` — emit both formats (round-trippable).
+* :mod:`repro.netlist.stats` — the schematic scan producing the
+  estimator's inputs (N, H, W_i, X_i, y_i and the net-size histogram).
+* :mod:`repro.netlist.validate` — structural consistency checks.
+"""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hierarchy import (
+    build_library,
+    flatten,
+    flatten_source,
+    inter_module_nets,
+)
+from repro.netlist.metrics import fanout_profile, rent_exponent
+from repro.netlist.partition import Bipartition, bipartition
+from repro.netlist.model import Device, Module, Net, Port, PortDirection
+from repro.netlist.spice import parse_spice
+from repro.netlist.stats import ModuleStatistics, scan_module
+from repro.netlist.validate import validate_module
+from repro.netlist.verilog import parse_verilog, parse_verilog_library
+from repro.netlist.writers import write_spice, write_verilog
+
+__all__ = [
+    "Device",
+    "Module",
+    "ModuleStatistics",
+    "Net",
+    "NetlistBuilder",
+    "Port",
+    "PortDirection",
+    "Bipartition",
+    "bipartition",
+    "build_library",
+    "fanout_profile",
+    "flatten",
+    "flatten_source",
+    "inter_module_nets",
+    "rent_exponent",
+    "parse_spice",
+    "parse_verilog",
+    "parse_verilog_library",
+    "scan_module",
+    "validate_module",
+    "write_spice",
+    "write_verilog",
+]

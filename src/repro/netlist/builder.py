@@ -1,0 +1,131 @@
+"""Fluent programmatic construction of modules.
+
+Workload generators and tests build circuits in code; the builder keeps
+that code readable and guarantees the result passes validation::
+
+    module = (
+        NetlistBuilder("half_adder")
+        .inputs("a", "b")
+        .outputs("sum", "carry")
+        .gate("XOR2", "x1", a="a", b="b", y="sum")
+        .gate("AND2", "a1", a="a", b="b", y="carry")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import NetlistError
+from repro.netlist.model import Device, Module, Port, PortDirection
+from repro.netlist.validate import validate_module
+
+
+class NetlistBuilder:
+    """Incrementally assemble a :class:`~repro.netlist.model.Module`."""
+
+    def __init__(self, name: str):
+        self._module = Module(name)
+        self._auto_index = itertools.count()
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def port(
+        self,
+        name: str,
+        direction: PortDirection = PortDirection.INPUT,
+        net: str = "",
+        width_lambda: float = 0.0,
+    ) -> "NetlistBuilder":
+        """Add one port; its net defaults to the port name."""
+        self._check_open()
+        self._module.add_port(Port(name, direction, net, width_lambda))
+        return self
+
+    def inputs(self, *names: str) -> "NetlistBuilder":
+        for name in names:
+            self.port(name, PortDirection.INPUT)
+        return self
+
+    def outputs(self, *names: str) -> "NetlistBuilder":
+        for name in names:
+            self.port(name, PortDirection.OUTPUT)
+        return self
+
+    def inouts(self, *names: str) -> "NetlistBuilder":
+        for name in names:
+            self.port(name, PortDirection.INOUT)
+        return self
+
+    # ------------------------------------------------------------------
+    # devices
+    # ------------------------------------------------------------------
+    def gate(self, cell: str, name: Optional[str] = None, **pins: str) -> "NetlistBuilder":
+        """Add a library-cell instance; pins are ``pin=net`` keywords."""
+        self._check_open()
+        if not pins:
+            raise NetlistError(f"gate {cell!r}: at least one pin connection required")
+        device_name = name or self._fresh_name(cell)
+        self._module.add_device(Device(device_name, cell, dict(pins)))
+        return self
+
+    def transistor(
+        self,
+        cell: str,
+        name: Optional[str] = None,
+        gate: str = "",
+        drain: str = "",
+        source: str = "",
+        width_lambda: Optional[float] = None,
+        height_lambda: Optional[float] = None,
+    ) -> "NetlistBuilder":
+        """Add a transistor (full-custom device) with g/d/s terminals."""
+        self._check_open()
+        pins: Dict[str, str] = {}
+        if gate:
+            pins["g"] = gate
+        if drain:
+            pins["d"] = drain
+        if source:
+            pins["s"] = source
+        if not pins:
+            raise NetlistError(
+                f"transistor {cell!r}: at least one terminal must be connected"
+            )
+        device_name = name or self._fresh_name(cell)
+        self._module.add_device(
+            Device(device_name, cell, pins, width_lambda, height_lambda)
+        )
+        return self
+
+    def device(self, device: Device) -> "NetlistBuilder":
+        """Add a pre-constructed device."""
+        self._check_open()
+        self._module.add_device(device)
+        return self
+
+    # ------------------------------------------------------------------
+    # finish
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Module:
+        """Finish construction; the builder cannot be reused afterwards."""
+        self._check_open()
+        self._built = True
+        if validate:
+            validate_module(self._module)
+        return self._module
+
+    def _fresh_name(self, cell: str) -> str:
+        base = cell.lower()
+        while True:
+            candidate = f"{base}_{next(self._auto_index)}"
+            if not self._module.has_device(candidate):
+                return candidate
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise NetlistError("builder already finished; create a new one")

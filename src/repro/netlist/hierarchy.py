@@ -1,0 +1,266 @@
+"""Hierarchy linking and flattening.
+
+"Chip floor planning ... the chip is partitioned into large modules
+which are laid out independently" — real schematics arrive as a
+*library* of modules instantiating one another, while the estimator
+(and the paper) work on flat leaf modules.  This module bridges the
+two: :func:`flatten` elaborates a hierarchical design into one flat
+module per the usual rules:
+
+* instances whose cell name matches another module in the library are
+  expanded recursively; all other cells are leaves (library gates,
+  transistors);
+* expanded device and net names are prefixed with the instance path
+  (``u1/u2/n3``);
+* child ports bind to parent nets through the instance pins — named
+  connections bind by port name, positional connections (``p0`` ...)
+  by port order;
+* power/ground nets stay global (never prefixed), matching how supply
+  rails are wired through a chip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Device, Module, Port
+from repro.netlist.stats import DEFAULT_POWER_NETS
+from repro.netlist.validate import validate_module
+
+
+def build_library(modules: Iterable[Module]) -> Dict[str, Module]:
+    """Index modules by name, rejecting duplicates."""
+    library: Dict[str, Module] = {}
+    for module in modules:
+        if module.name in library:
+            raise NetlistError(f"duplicate module {module.name!r} in library")
+        library[module.name] = module
+    return library
+
+
+def hierarchy_depth(
+    library: Mapping[str, Module], top: str
+) -> int:
+    """Longest instantiation chain under ``top`` (1 = flat)."""
+    return _depth(library, top, ())
+
+
+def inter_module_nets(
+    library: Mapping[str, Module],
+    top: str,
+    power_nets: Sequence[str] = DEFAULT_POWER_NETS,
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """The chip's *global interconnections*: nets of the top module
+    connecting two or more submodule instances.
+
+    This is the second half of the Fig. 1 database ("the global module
+    descriptions and global interconnections for the whole chip") —
+    the floorplanner uses it to keep connected modules adjacent.
+    Returns (net name, instance names) pairs for nets touching >= 2
+    instances of library submodules; leaf devices count as their own
+    instance.
+    """
+    try:
+        top_module = library[top]
+    except KeyError:
+        raise NetlistError(f"top module {top!r} not found in library") from None
+    skip = {p.lower() for p in power_nets}
+    result: List[Tuple[str, Tuple[str, ...]]] = []
+    for net in top_module.nets:
+        if net.name.lower() in skip:
+            continue
+        instances = net.devices()
+        if len(instances) >= 2:
+            result.append((net.name, instances))
+    return result
+
+
+def flatten(
+    library: Mapping[str, Module],
+    top: str,
+    separator: str = "/",
+    power_nets: Sequence[str] = DEFAULT_POWER_NETS,
+) -> Module:
+    """Elaborate ``top`` into a flat module."""
+    try:
+        top_module = library[top]
+    except KeyError:
+        raise NetlistError(f"top module {top!r} not found in library") from None
+
+    result = Module(top)
+    for port in top_module.ports:
+        result.add_port(Port(port.name, port.direction, port.net,
+                             port.width_lambda))
+    net_map = {net.name: net.name for net in top_module.nets}
+    _expand(library, top_module, result, prefix="", net_map=net_map,
+            stack=(top,), separator=separator,
+            power={p.lower() for p in power_nets})
+    return validate_module(result)
+
+
+def flatten_source(
+    modules: Sequence[Module],
+    top: Optional[str] = None,
+    separator: str = "/",
+) -> Module:
+    """Convenience: library list in, flat module out.
+
+    Without an explicit ``top``, the unique module that no other module
+    instantiates is used.
+    """
+    library = build_library(modules)
+    if top is None:
+        top = _infer_top(library)
+    return flatten(library, top, separator)
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _expand(
+    library: Mapping[str, Module],
+    module: Module,
+    result: Module,
+    prefix: str,
+    net_map: Dict[str, str],
+    stack: Tuple[str, ...],
+    separator: str,
+    power: set,
+) -> None:
+    for device in module.devices:
+        child = library.get(device.cell)
+        instance_name = prefix + device.name
+        if child is None:
+            # Leaf device: copy with translated nets.
+            pins = {
+                pin: _resolve(net, net_map, prefix, separator, power,
+                              result)
+                for pin, net in device.pins.items()
+            }
+            result.add_device(
+                Device(instance_name, device.cell, pins,
+                       device.width_lambda, device.height_lambda)
+            )
+            continue
+
+        if device.cell in stack:
+            chain = " -> ".join(stack + (device.cell,))
+            raise NetlistError(
+                f"recursive instantiation: {chain}"
+            )
+
+        child_map = _bind_ports(device, child, net_map, prefix, separator,
+                                power, result)
+        _expand(
+            library,
+            child,
+            result,
+            prefix=instance_name + separator,
+            net_map=child_map,
+            stack=stack + (device.cell,),
+            separator=separator,
+            power=power,
+        )
+
+
+def _bind_ports(
+    instance: Device,
+    child: Module,
+    parent_map: Dict[str, str],
+    prefix: str,
+    separator: str,
+    power: set,
+    result: Module,
+) -> Dict[str, str]:
+    """Child-net -> flat-net mapping induced by the instance pins."""
+    port_names = [port.name for port in child.ports]
+    bindings: Dict[str, str] = {}
+    for pin, parent_net in instance.pins.items():
+        if pin in port_names:
+            port_name = pin
+        elif pin.startswith("p") and pin[1:].isdigit():
+            index = int(pin[1:])
+            if index >= len(port_names):
+                raise NetlistError(
+                    f"instance {prefix}{instance.name!r}: positional pin "
+                    f"{pin!r} exceeds the {len(port_names)} ports of "
+                    f"{child.name!r}"
+                )
+            port_name = port_names[index]
+        else:
+            raise NetlistError(
+                f"instance {prefix}{instance.name!r}: pin {pin!r} does not "
+                f"match a port of {child.name!r} "
+                f"(ports: {', '.join(port_names)})"
+            )
+        if port_name in bindings:
+            raise NetlistError(
+                f"instance {prefix}{instance.name!r}: port {port_name!r} "
+                "bound twice"
+            )
+        bindings[port_name] = _resolve(parent_net, parent_map, prefix,
+                                       separator, power, result)
+
+    child_map: Dict[str, str] = {}
+    for port in child.ports:
+        if port.name not in bindings:
+            raise NetlistError(
+                f"instance {prefix}{instance.name!r}: port {port.name!r} "
+                f"of {child.name!r} is unconnected"
+            )
+        existing = child_map.get(port.net)
+        if existing is not None and existing != bindings[port.name]:
+            raise NetlistError(
+                f"instance {prefix}{instance.name!r}: ports sharing child "
+                f"net {port.net!r} bind to different parent nets "
+                f"({existing!r} vs {bindings[port.name]!r})"
+            )
+        child_map[port.net] = bindings[port.name]
+    return child_map
+
+
+def _resolve(
+    net: str,
+    net_map: Dict[str, str],
+    prefix: str,
+    separator: str,
+    power: set,
+    result: Module,
+) -> str:
+    if net.lower() in power:
+        return net
+    if net not in net_map:
+        net_map[net] = prefix + net if prefix else net
+    return net_map[net]
+
+
+def _infer_top(library: Mapping[str, Module]) -> str:
+    instantiated = set()
+    for module in library.values():
+        for device in module.devices:
+            if device.cell in library:
+                instantiated.add(device.cell)
+    tops = [name for name in library if name not in instantiated]
+    if len(tops) != 1:
+        raise NetlistError(
+            f"cannot infer the top module: candidates {sorted(tops)} "
+            "(pass top= explicitly)"
+        )
+    return tops[0]
+
+
+def _depth(
+    library: Mapping[str, Module], name: str, stack: Tuple[str, ...]
+) -> int:
+    if name in stack:
+        chain = " -> ".join(stack + (name,))
+        raise NetlistError(f"recursive instantiation: {chain}")
+    module = library[name]
+    deepest = 0
+    for device in module.devices:
+        if device.cell in library:
+            deepest = max(
+                deepest, _depth(library, device.cell, stack + (name,))
+            )
+    return deepest + 1

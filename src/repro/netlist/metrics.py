@@ -1,0 +1,195 @@
+"""Structural netlist metrics: fanout profile, pin statistics, and a
+Rent-exponent estimate.
+
+The estimator's accuracy depends on a module's interconnection
+structure ("the size of the routing area strongly depends on the
+interconnection strength among devices", Section 4.1); these metrics
+quantify that structure so workload generators can be validated against
+real-circuit expectations and users can judge whether a module is in
+the estimator's comfort zone.
+
+The Rent exponent is estimated by recursive KL bisection: at each
+level, count the external nets of each block versus the block's device
+count and fit log(pins) against log(devices).  Typical logic has
+p in 0.5 .. 0.75; p near 1 means unstructured (random) connectivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Module
+from repro.netlist.partition import bipartition
+from repro.netlist.stats import DEFAULT_POWER_NETS
+
+
+@dataclass(frozen=True)
+class FanoutProfile:
+    """Distribution of net sizes (component counts)."""
+
+    histogram: Tuple[Tuple[int, int], ...]  # (size, count)
+    mean: float
+    maximum: int
+
+    @property
+    def two_point_fraction(self) -> float:
+        total = sum(count for _, count in self.histogram)
+        if total == 0:
+            return 0.0
+        two = sum(count for size, count in self.histogram if size == 2)
+        return two / total
+
+
+def fanout_profile(
+    module: Module,
+    power_nets: Sequence[str] = DEFAULT_POWER_NETS,
+) -> FanoutProfile:
+    """Net-size distribution over routable (>= 2 component) nets."""
+    counts: Dict[int, int] = {}
+    for net in module.iter_signal_nets(power_nets):
+        size = net.component_count
+        if size >= 2:
+            counts[size] = counts.get(size, 0) + 1
+    if not counts:
+        return FanoutProfile(histogram=(), mean=0.0, maximum=0)
+    total_nets = sum(counts.values())
+    mean = sum(size * count for size, count in counts.items()) / total_nets
+    return FanoutProfile(
+        histogram=tuple(sorted(counts.items())),
+        mean=mean,
+        maximum=max(counts),
+    )
+
+
+def average_pins_per_device(module: Module) -> float:
+    """Mean pin count over devices (0 for an empty module)."""
+    if module.device_count == 0:
+        return 0.0
+    total = sum(len(device.pins) for device in module.devices)
+    return total / module.device_count
+
+
+def external_net_count(
+    module: Module,
+    devices: Set[str],
+    power_nets: Sequence[str] = DEFAULT_POWER_NETS,
+) -> int:
+    """Nets connecting the device subset to anything outside it
+    (other devices or module ports) — the block's "pins" for Rent."""
+    count = 0
+    for net in module.iter_signal_nets(power_nets):
+        members = set(net.devices())
+        inside = members & devices
+        if not inside:
+            continue
+        outside = (members - devices) or net.ports
+        if outside:
+            count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class RentEstimate:
+    """Fit of pins ~ k * devices^p over recursive-bisection blocks."""
+
+    exponent: float      # p
+    coefficient: float   # k
+    samples: Tuple[Tuple[int, int], ...]  # (devices, pins) pairs
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+
+def rent_exponent(
+    module: Module,
+    seed: int = 0,
+    min_block: int = 4,
+    power_nets: Sequence[str] = DEFAULT_POWER_NETS,
+) -> RentEstimate:
+    """Estimate the Rent exponent by recursive KL bisection.
+
+    Blocks smaller than ``min_block`` devices are not split further.
+    Requires at least two (devices, pins) samples at distinct sizes.
+    """
+    if module.device_count < 2 * min_block:
+        raise NetlistError(
+            f"module {module.name!r}: need >= {2 * min_block} devices "
+            "for a Rent estimate"
+        )
+    samples: List[Tuple[int, int]] = []
+
+    def visit(devices: Set[str], depth: int) -> None:
+        pins = external_net_count(module, devices, power_nets)
+        if pins > 0:
+            samples.append((len(devices), pins))
+        if len(devices) < 2 * min_block:
+            return
+        sub = _submodule_split(module, devices, seed + depth, power_nets)
+        if sub is None:
+            return
+        left, right = sub
+        visit(left, depth + 1)
+        visit(right, depth + 1)
+
+    visit({d.name for d in module.devices}, 0)
+
+    sizes = {devices for devices, _ in samples}
+    if len(sizes) < 2:
+        raise NetlistError(
+            f"module {module.name!r}: not enough block-size diversity "
+            "for a Rent fit"
+        )
+    exponent, log_k = _fit_loglog(samples)
+    return RentEstimate(
+        exponent=exponent,
+        coefficient=math.exp(log_k),
+        samples=tuple(samples),
+    )
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _submodule_split(module, devices: Set[str], seed: int, power_nets):
+    """KL-split a device subset by partitioning the induced structure.
+
+    KL runs on the whole module but we only need the subset: build a
+    temporary module? Cheaper: run bipartition on the full module when
+    the subset is everything, else split the subset greedily using the
+    same KL on an induced module.
+    """
+    from repro.netlist.model import Device, Module as _Module
+
+    induced = _Module(f"_block_{seed}")
+    for name in sorted(devices):
+        device = module.device(name)
+        induced.add_device(
+            Device(device.name, device.cell, dict(device.pins),
+                   device.width_lambda, device.height_lambda)
+        )
+    if induced.device_count < 2:
+        return None
+    result = bipartition(induced, seed=seed, power_nets=power_nets)
+    if not result.left or not result.right:
+        return None
+    return set(result.left), set(result.right)
+
+
+def _fit_loglog(samples: Sequence[Tuple[int, int]]) -> Tuple[float, float]:
+    """Least-squares fit of log(pins) = p*log(devices) + log(k)."""
+    xs = [math.log(devices) for devices, _ in samples]
+    ys = [math.log(pins) for _, pins in samples]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        raise NetlistError("cannot fit Rent exponent: single block size")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    intercept = mean_y - slope * mean_x
+    return slope, intercept

@@ -1,0 +1,286 @@
+"""In-memory circuit representation.
+
+A :class:`Module` is the unit the estimator works on: the paper estimates
+area "of small to moderate-sized modules" which are later composed by a
+chip floor planner.  A module owns:
+
+* :class:`Port` objects — its external connections (the paper's
+  "input and output ports", which drive aspect-ratio estimation),
+* :class:`Device` objects — instances of library cells or transistors,
+* :class:`Net` objects — the electrical nodes connecting device pins and
+  ports.
+
+The model is deliberately flat (no hierarchy): the paper's estimator runs
+per-module, and hierarchical designs are handled by estimating each leaf
+module and handing the results to the floor planner.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import NetlistError
+
+
+class PortDirection(enum.Enum):
+    """Direction of a module port."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+@dataclass(frozen=True)
+class Port:
+    """An external connection point of a module.
+
+    ``width_lambda`` is the length of layout edge the port's wire stub
+    consumes; the aspect-ratio control criterion of Section 5 requires
+    that all ports fit along one module edge.  When zero, the technology
+    default port pitch is used at estimation time.
+    """
+
+    name: str
+    direction: PortDirection = PortDirection.INPUT
+    net: str = ""
+    width_lambda: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("port name must be non-empty")
+        if self.width_lambda < 0:
+            raise NetlistError(
+                f"port {self.name!r}: width_lambda must be >= 0, "
+                f"got {self.width_lambda}"
+            )
+
+
+@dataclass(frozen=True)
+class PinConnection:
+    """One (device, pin) endpoint of a net."""
+
+    device: str
+    pin: str
+
+
+@dataclass
+class Device:
+    """An instance of a library cell or a transistor.
+
+    ``cell`` names a device type in the technology database (e.g.
+    ``"NAND2"`` for standard cells, ``"nmos_enh"`` for transistors).
+    ``pins`` maps pin names to net names.  ``width_lambda`` /
+    ``height_lambda`` optionally override the library dimensions, which
+    full-custom transistor sizing needs.
+    """
+
+    name: str
+    cell: str
+    pins: Dict[str, str] = field(default_factory=dict)
+    width_lambda: Optional[float] = None
+    height_lambda: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("device name must be non-empty")
+        if not self.cell:
+            raise NetlistError(f"device {self.name!r}: cell type must be non-empty")
+        for dim_name, dim in (("width_lambda", self.width_lambda),
+                              ("height_lambda", self.height_lambda)):
+            if dim is not None and dim <= 0:
+                raise NetlistError(
+                    f"device {self.name!r}: {dim_name} must be positive, got {dim}"
+                )
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        """Net names this device touches, in pin order."""
+        return tuple(self.pins.values())
+
+
+@dataclass
+class Net:
+    """An electrical node.
+
+    ``connections`` are (device, pin) endpoints; ``ports`` are names of
+    module ports on the net.  The paper's parameter *D* — "the number of
+    components in a net" — is :attr:`component_count`: the number of
+    distinct devices attached (ports do not occupy row positions).
+    """
+
+    name: str
+    connections: List[PinConnection] = field(default_factory=list)
+    ports: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("net name must be non-empty")
+
+    @property
+    def component_count(self) -> int:
+        """The paper's D: number of distinct devices on the net."""
+        return len({conn.device for conn in self.connections})
+
+    @property
+    def pin_count(self) -> int:
+        """Total pin endpoints, counting multiple pins of one device."""
+        return len(self.connections)
+
+    @property
+    def is_external(self) -> bool:
+        """Whether the net reaches a module port."""
+        return bool(self.ports)
+
+    def devices(self) -> Tuple[str, ...]:
+        """Distinct device names on the net, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for conn in self.connections:
+            seen.setdefault(conn.device, None)
+        return tuple(seen)
+
+
+class Module:
+    """A flat circuit module: ports, devices, and nets.
+
+    Mutation goes through :meth:`add_port`, :meth:`add_device`, and
+    :meth:`connect`, which maintain the net-connection indices; direct
+    dictionary manipulation is not supported.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise NetlistError("module name must be non-empty")
+        self.name = name
+        self._ports: Dict[str, Port] = {}
+        self._devices: Dict[str, Device] = {}
+        self._nets: Dict[str, Net] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_port(self, port: Port) -> Port:
+        """Add an external port, creating/joining its net."""
+        if port.name in self._ports:
+            raise NetlistError(f"module {self.name!r}: duplicate port {port.name!r}")
+        net_name = port.net or port.name
+        port = Port(port.name, port.direction, net_name, port.width_lambda)
+        self._ports[port.name] = port
+        net = self._nets.setdefault(net_name, Net(net_name))
+        net.ports.append(port.name)
+        return port
+
+    def add_device(self, device: Device) -> Device:
+        """Add a device instance and register its pin connections."""
+        if device.name in self._devices:
+            raise NetlistError(
+                f"module {self.name!r}: duplicate device {device.name!r}"
+            )
+        self._devices[device.name] = device
+        for pin, net_name in device.pins.items():
+            net = self._nets.setdefault(net_name, Net(net_name))
+            net.connections.append(PinConnection(device.name, pin))
+        return device
+
+    def connect(self, device_name: str, pin: str, net_name: str) -> None:
+        """Attach one more pin of an existing device to a net."""
+        device = self._devices.get(device_name)
+        if device is None:
+            raise NetlistError(
+                f"module {self.name!r}: unknown device {device_name!r}"
+            )
+        if pin in device.pins:
+            raise NetlistError(
+                f"module {self.name!r}: device {device_name!r} pin {pin!r} "
+                "is already connected"
+            )
+        device.pins[pin] = net_name
+        net = self._nets.setdefault(net_name, Net(net_name))
+        net.connections.append(PinConnection(device_name, pin))
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        return tuple(self._ports.values())
+
+    @property
+    def devices(self) -> Tuple[Device, ...]:
+        return tuple(self._devices.values())
+
+    @property
+    def nets(self) -> Tuple[Net, ...]:
+        return tuple(self._nets.values())
+
+    @property
+    def device_count(self) -> int:
+        """The paper's N."""
+        return len(self._devices)
+
+    @property
+    def net_count(self) -> int:
+        """The paper's H."""
+        return len(self._nets)
+
+    @property
+    def port_count(self) -> int:
+        return len(self._ports)
+
+    def port(self, name: str) -> Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise NetlistError(
+                f"module {self.name!r}: unknown port {name!r}"
+            ) from None
+
+    def device(self, name: str) -> Device:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise NetlistError(
+                f"module {self.name!r}: unknown device {name!r}"
+            ) from None
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise NetlistError(
+                f"module {self.name!r}: unknown net {name!r}"
+            ) from None
+
+    def has_net(self, name: str) -> bool:
+        return name in self._nets
+
+    def has_device(self, name: str) -> bool:
+        return name in self._devices
+
+    def iter_signal_nets(
+        self, power_names: Iterable[str] = ("vdd", "vss", "gnd", "vcc")
+    ) -> Iterator[Net]:
+        """Nets excluding power/ground rails.
+
+        Power rails run inside standard-cell rows and do not consume
+        routing tracks, so the estimator skips them.  Matching is
+        case-insensitive on the whole net name.
+        """
+        skip = {p.lower() for p in power_names}
+        for net in self._nets.values():
+            if net.name.lower() not in skip:
+                yield net
+
+    def cell_usage(self) -> Dict[str, int]:
+        """Map of cell type -> instance count (the paper's X_i by type)."""
+        usage: Dict[str, int] = {}
+        for device in self._devices.values():
+            usage[device.cell] = usage.get(device.cell, 0) + 1
+        return usage
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, devices={self.device_count}, "
+            f"nets={self.net_count}, ports={self.port_count})"
+        )

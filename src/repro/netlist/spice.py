@@ -1,0 +1,217 @@
+"""SPICE-deck parser for transistor-level (full-custom) modules.
+
+Full-custom estimation works at the transistor level: "individual
+transistor layouts are used as Standard-Cells" (Section 4.2).  The
+natural interchange format for transistor netlists is a SPICE deck.
+
+Supported subset:
+
+* ``.SUBCKT name node node ...`` / ``.ENDS`` — module boundary; the
+  subcircuit nodes become module ports (direction ``INOUT``, since SPICE
+  carries no direction information).
+* ``M<name> drain gate source [bulk] model [W=val] [L=val]`` — MOSFETs.
+  ``W`` is read in lambda (this is a scalable-rule flow) and overrides
+  the library *width* of the named model; ``L`` is the channel length,
+  which is not a footprint dimension — it is parsed and discarded, and
+  the cell height always comes from the process database.
+* ``R``/``C`` two-terminal elements — mapped to device types ``res`` /
+  ``cap``.
+* ``X<name> node ... subckt`` is rejected: modules are flat.
+* ``*`` comments, ``$``/``;`` trailing comments, ``+`` continuations,
+  ``.GLOBAL`` (declares power nets), ``.END``.
+
+A deck without ``.SUBCKT`` is parsed as one module named by the title
+line, with every net that looks like an I/O (no internal-only heuristic
+is safe, so) — no ports; callers supply ports separately if needed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.model import Device, Module, Port, PortDirection
+from repro.netlist.validate import validate_module
+
+_PARAM_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(.+)$")
+
+#: Multipliers for SPICE magnitude suffixes on parameter values.
+_SUFFIXES = {
+    "t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3,
+    "m": 1e-3, "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+}
+
+
+def parse_spice(text: str, filename: str = "<deck>") -> Module:
+    """Parse a SPICE deck into a single module.
+
+    The first ``.SUBCKT`` found defines the module; the title line names
+    the module when no subcircuit is present.
+    """
+    raw_lines = text.splitlines()
+    if not raw_lines or not text.strip():
+        raise ParseError("empty deck", filename)
+
+    # The first line of a SPICE deck is always the title, even when it
+    # looks like a comment.
+    title_words = raw_lines[0].lstrip("* \t").split()
+    title = title_words[0] if title_words else "spice_module"
+    lines = _logical_lines("\n".join(raw_lines[1:]), filename,
+                           first_line=2)
+
+    subckt: Optional[Tuple[str, List[str], int]] = None
+    body: List[Tuple[str, int]] = []
+    in_subckt = False
+    for line, number in lines:
+        upper = line.upper()
+        if upper.startswith(".SUBCKT"):
+            if subckt is not None:
+                raise ParseError(
+                    "multiple .SUBCKT definitions; parse one module per deck",
+                    filename,
+                    number,
+                )
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise ParseError("malformed .SUBCKT line", filename, number)
+            subckt = (tokens[1], tokens[2:], number)
+            in_subckt = True
+        elif upper.startswith(".ENDS"):
+            if not in_subckt:
+                raise ParseError(".ENDS without .SUBCKT", filename, number)
+            in_subckt = False
+        elif upper.startswith(".GLOBAL") or upper.startswith(".END"):
+            continue
+        elif upper.startswith("."):
+            # Analysis/option cards are irrelevant to structure.
+            continue
+        else:
+            if subckt is not None and not in_subckt:
+                continue  # elements outside the subckt body (test fixtures)
+            body.append((line, number))
+
+    if subckt is not None and in_subckt:
+        raise ParseError(
+            f".SUBCKT {subckt[0]!r} is missing .ENDS", filename, subckt[2]
+        )
+
+    name = subckt[0] if subckt else _sanitise(title)
+    module = Module(name)
+    if subckt:
+        for node in subckt[1]:
+            module.add_port(Port(node, PortDirection.INOUT))
+
+    for line, number in body:
+        device = _parse_element(line, filename, number)
+        module.add_device(device)
+
+    validate_module(module)
+    return module
+
+
+def _logical_lines(
+    text: str, filename: str, first_line: int = 1
+) -> List[Tuple[str, int]]:
+    """Strip comments and fold ``+`` continuations."""
+    folded: List[Tuple[str, int]] = []
+    for number, raw in enumerate(text.splitlines(), start=first_line):
+        line = re.split(r"[$;]", raw, maxsplit=1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not folded:
+                raise ParseError("continuation with no previous line",
+                                 filename, number)
+            previous, start = folded[-1]
+            folded[-1] = (previous + " " + stripped[1:].strip(), start)
+        else:
+            folded.append((stripped, number))
+    return folded
+
+
+def _parse_element(line: str, filename: str, number: int) -> Device:
+    tokens = line.split()
+    name = tokens[0]
+    kind = name[0].upper()
+    if kind == "M":
+        return _parse_mosfet(tokens, filename, number)
+    if kind in ("R", "C"):
+        if len(tokens) < 3:
+            raise ParseError(
+                f"element {name!r}: expected two nodes", filename, number
+            )
+        cell = "res" if kind == "R" else "cap"
+        return Device(name, cell, {"a": tokens[1], "b": tokens[2]})
+    if kind == "X":
+        raise ParseError(
+            f"element {name!r}: hierarchical X instances are not supported "
+            "(flatten the deck first)",
+            filename,
+            number,
+        )
+    raise ParseError(
+        f"element {name!r}: unsupported element type {kind!r}",
+        filename,
+        number,
+    )
+
+
+def _parse_mosfet(tokens: List[str], filename: str, number: int) -> Device:
+    name = tokens[0]
+    params: Dict[str, float] = {}
+    positional: List[str] = []
+    for token in tokens[1:]:
+        match = _PARAM_RE.match(token)
+        if match:
+            params[match.group(1).upper()] = _value(match.group(2), filename,
+                                                    number)
+        else:
+            positional.append(token)
+
+    # positional = nodes... model ; nodes are 3 (d g s) or 4 (d g s b)
+    if len(positional) == 4:
+        drain, gate, source = positional[:3]
+        model = positional[3]
+        bulk = None
+    elif len(positional) == 5:
+        drain, gate, source, bulk = positional[:4]
+        model = positional[4]
+    else:
+        raise ParseError(
+            f"mosfet {name!r}: expected 'd g s [b] model', got "
+            f"{len(positional)} positional tokens",
+            filename,
+            number,
+        )
+    pins = {"d": drain, "g": gate, "s": source}
+    if bulk is not None:
+        pins["b"] = bulk
+    # W widens the cell footprint; L is electrical only (see module doc).
+    width = params.get("W")
+    return Device(name, model, pins, width_lambda=width)
+
+
+def _value(text: str, filename: str, number: int) -> float:
+    match = re.fullmatch(r"([-+0-9.eE]+)(meg|[tgkmunpf])?", text.strip(),
+                         flags=re.IGNORECASE)
+    if not match:
+        raise ParseError(f"malformed parameter value {text!r}", filename, number)
+    try:
+        base = float(match.group(1))
+    except ValueError:
+        raise ParseError(
+            f"malformed parameter value {text!r}", filename, number
+        ) from None
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _sanitise(title: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", title)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "m_" + cleaned
+    return cleaned

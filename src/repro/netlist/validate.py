@@ -1,0 +1,87 @@
+"""Structural consistency checks for modules.
+
+The estimator's probability model assumes a sane netlist: every net has
+at least one endpoint, device pins reference nets that exist, and port
+nets are real.  :func:`validate_module` raises
+:class:`~repro.errors.NetlistError` on the first violation;
+:func:`module_warnings` collects non-fatal oddities (dangling nets,
+single-pin nets) that usually indicate generator bugs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.model import Module
+
+
+def validate_module(module: Module) -> Module:
+    """Raise :class:`NetlistError` if the module is structurally broken.
+
+    Returns the module so the call composes with builders.
+    """
+    net_names = {net.name for net in module.nets}
+
+    for device in module.devices:
+        if not device.pins:
+            raise NetlistError(
+                f"module {module.name!r}: device {device.name!r} has no pins"
+            )
+        for pin, net in device.pins.items():
+            if net not in net_names:
+                raise NetlistError(
+                    f"module {module.name!r}: device {device.name!r} pin "
+                    f"{pin!r} references unknown net {net!r}"
+                )
+
+    for port in module.ports:
+        if port.net not in net_names:
+            raise NetlistError(
+                f"module {module.name!r}: port {port.name!r} references "
+                f"unknown net {port.net!r}"
+            )
+
+    device_names = {device.name for device in module.devices}
+    for net in module.nets:
+        if not net.connections and not net.ports:
+            raise NetlistError(
+                f"module {module.name!r}: net {net.name!r} has no endpoints"
+            )
+        for conn in net.connections:
+            if conn.device not in device_names:
+                raise NetlistError(
+                    f"module {module.name!r}: net {net.name!r} references "
+                    f"unknown device {conn.device!r}"
+                )
+            pins = module.device(conn.device).pins
+            if pins.get(conn.pin) != net.name:
+                raise NetlistError(
+                    f"module {module.name!r}: net {net.name!r} connection "
+                    f"({conn.device}, {conn.pin}) disagrees with the "
+                    "device's pin map"
+                )
+    return module
+
+
+def module_warnings(module: Module) -> List[str]:
+    """Non-fatal structural oddities, as human-readable strings."""
+    warnings: List[str] = []
+    for net in module.nets:
+        endpoints = net.pin_count + len(net.ports)
+        if endpoints == 1:
+            warnings.append(
+                f"net {net.name!r} has a single endpoint (dangling)"
+            )
+    for device in module.devices:
+        nets_touched = set(device.pins.values())
+        if len(nets_touched) == 1 and len(device.pins) > 1:
+            warnings.append(
+                f"device {device.name!r} has all pins shorted to "
+                f"net {next(iter(nets_touched))!r}"
+            )
+    if module.device_count == 0:
+        warnings.append("module has no devices")
+    if module.port_count == 0:
+        warnings.append("module has no external ports")
+    return warnings

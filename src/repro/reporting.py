@@ -1,0 +1,86 @@
+"""Fixed-width table rendering for benchmark output and the CLI.
+
+The benchmark harness prints the paper's tables; this module owns the
+formatting so every table reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with :func:`format_cell`; numeric cells are
+    right-aligned, text left-aligned.
+    """
+    formatted = [[format_cell(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for index, row in enumerate(formatted):
+        if len(row) != columns:
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in formatted))
+        if formatted
+        else len(headers[c])
+        for c in range(columns)
+    ]
+    numeric = [
+        bool(rows) and all(_is_numeric(row[c]) for row in rows)
+        for c in range(columns)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(
+                cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c])
+            )
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in formatted:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: thousands separators for big numbers, trimmed
+    floats, pass-through strings."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Render a ratio as a percentage string (0.42 -> '+42%')."""
+    sign = "+" if signed else ""
+    return f"{value:{sign}.1%}"
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,38 @@
+"""Fabrication-process databases.
+
+The estimator's second input (Fig. 1) is "the fabrication technique or
+process data base for the particular technology used to fabricate the
+chip ... the areas of different types of devices, the height of the
+Standard-Cell rows, and the value of lambda, the maximum allowable mask
+misalignment".
+
+* :mod:`repro.technology.process` — :class:`ProcessDatabase` and
+  :class:`DeviceType`.
+* :mod:`repro.technology.libraries` — the two shipped databases: an nMOS
+  Mead-Conway process (lambda = 2.5 um, matching the paper's Table 1
+  experiments) and a CMOS process, each with a standard-cell library and
+  transistor device types.
+* :mod:`repro.technology.loader` — JSON persistence, so "multiple
+  process data bases can be stored in the computer system".
+"""
+
+from repro.technology.libraries import cmos_process, nmos_process
+from repro.technology.loader import (
+    load_process,
+    load_process_file,
+    process_to_dict,
+    save_process_file,
+)
+from repro.technology.process import DeviceKind, DeviceType, ProcessDatabase
+
+__all__ = [
+    "DeviceKind",
+    "DeviceType",
+    "ProcessDatabase",
+    "cmos_process",
+    "load_process",
+    "load_process_file",
+    "nmos_process",
+    "process_to_dict",
+    "save_process_file",
+]

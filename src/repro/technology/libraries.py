@@ -1,0 +1,148 @@
+"""Shipped process databases.
+
+Two processes, mirroring the paper's experiments:
+
+* :func:`nmos_process` — an nMOS Mead-Conway process with
+  lambda = 2.5 um, the technology of the paper's Table 1 comparisons
+  against Newkirk & Mathews' full-custom layouts and of the Rutgers
+  NMOS standard-cell library used for Table 2.
+* :func:`cmos_process` — a 2 um (lambda = 1.0 um) CMOS process,
+  exercising the claim that "the estimator deals with different chip
+  fabrication technologies (e.g., CMOS and nMOS)".
+
+Cell geometry follows Mead-Conway-style scalable rules: minimum metal
+pitch of 7 lambda sets the routing-track pitch, cells share a fixed row
+height, and widths grow with gate fan-in.  The absolute values are
+representative rather than copied from the (unavailable) Rutgers
+library; EXPERIMENTS.md discusses the substitution.
+"""
+
+from __future__ import annotations
+
+from repro.technology.process import DeviceKind, DeviceType, ProcessDatabase
+
+#: Gate cell widths (lambda) for the nMOS library, keyed by cell name.
+_NMOS_GATES = {
+    "INV": (8.0, 2),
+    "BUF": (12.0, 2),
+    "NAND2": (12.0, 3),
+    "NAND3": (16.0, 4),
+    "NAND4": (20.0, 5),
+    "NOR2": (12.0, 3),
+    "NOR3": (16.0, 4),
+    "AND2": (16.0, 3),
+    "OR2": (16.0, 3),
+    "XOR2": (24.0, 3),
+    "XNOR2": (24.0, 3),
+    "AOI21": (18.0, 4),
+    "AOI22": (22.0, 5),
+    "OAI21": (18.0, 4),
+    "MUX2": (26.0, 5),
+    "DLATCH": (30.0, 4),
+    "DFF": (44.0, 4),
+    "DFFR": (50.0, 5),
+    "HADD": (30.0, 4),
+    "FADD": (54.0, 5),
+}
+
+#: CMOS gates are wider (complementary pairs) on a taller row.
+_CMOS_GATES = {
+    "INV": (10.0, 2),
+    "BUF": (16.0, 2),
+    "NAND2": (16.0, 3),
+    "NAND3": (22.0, 4),
+    "NAND4": (28.0, 5),
+    "NOR2": (16.0, 3),
+    "NOR3": (22.0, 4),
+    "AND2": (20.0, 3),
+    "OR2": (20.0, 3),
+    "XOR2": (30.0, 3),
+    "XNOR2": (30.0, 3),
+    "AOI21": (24.0, 4),
+    "AOI22": (28.0, 5),
+    "OAI21": (24.0, 4),
+    "MUX2": (34.0, 5),
+    "DLATCH": (40.0, 4),
+    "DFF": (56.0, 4),
+    "DFFR": (64.0, 5),
+    "HADD": (38.0, 4),
+    "FADD": (68.0, 5),
+}
+
+
+def nmos_process() -> ProcessDatabase:
+    """The nMOS Mead-Conway process (lambda = 2.5 um) of the paper."""
+    process = ProcessDatabase(
+        name="nmos-mead-conway-2.5um",
+        lambda_um=2.5,
+        row_height=40.0,
+        feedthrough_width=7.0,
+        track_pitch=7.0,
+        port_pitch=8.0,
+        description=(
+            "nMOS, Mead-Conway scalable rules, lambda = 2.5 um; matches "
+            "the technology of the paper's Table 1 experiments"
+        ),
+    )
+    for name, (width, pins) in _NMOS_GATES.items():
+        process.register(
+            DeviceType(name, width, process.row_height, DeviceKind.GATE, pins)
+        )
+    process.register_all(
+        [
+            # Full-custom primitives: enhancement pull-down, depletion
+            # pull-up (the nMOS inverter pair), and a pass transistor.
+            # All share one height — "individual transistor layouts are
+            # used as Standard-Cells" (paper, Section 4.2) — so manual
+            # row packing wastes no vertical space.
+            DeviceType("nmos_enh", 7.0, 9.0, DeviceKind.TRANSISTOR, 3,
+                       "enhancement-mode pull-down"),
+            DeviceType("nmos_dep", 10.0, 9.0, DeviceKind.TRANSISTOR, 3,
+                       "depletion-mode pull-up (load), laid sideways"),
+            DeviceType("nmos_pass", 7.0, 9.0, DeviceKind.TRANSISTOR, 3,
+                       "pass transistor"),
+            DeviceType("res", 4.0, 12.0, DeviceKind.PASSIVE, 2,
+                       "diffusion resistor"),
+            DeviceType("cap", 10.0, 10.0, DeviceKind.PASSIVE, 2,
+                       "gate capacitor"),
+        ]
+    )
+    return process.validate()
+
+
+def cmos_process() -> ProcessDatabase:
+    """A 2 um CMOS process (lambda = 1.0 um)."""
+    process = ProcessDatabase(
+        name="cmos-2um",
+        lambda_um=1.0,
+        row_height=50.0,
+        feedthrough_width=8.0,
+        track_pitch=8.0,
+        port_pitch=8.0,
+        description="CMOS, lambda = 1.0 um (2 um drawn gate length)",
+    )
+    for name, (width, pins) in _CMOS_GATES.items():
+        process.register(
+            DeviceType(name, width, process.row_height, DeviceKind.GATE, pins)
+        )
+    process.register_all(
+        [
+            DeviceType("nmos", 8.0, 10.0, DeviceKind.TRANSISTOR, 4,
+                       "n-channel MOSFET"),
+            DeviceType("pmos", 12.0, 10.0, DeviceKind.TRANSISTOR, 4,
+                       "p-channel MOSFET (wider for mobility match)"),
+            DeviceType("res", 4.0, 14.0, DeviceKind.PASSIVE, 2,
+                       "poly resistor"),
+            DeviceType("cap", 12.0, 12.0, DeviceKind.PASSIVE, 2,
+                       "poly-poly capacitor"),
+        ]
+    )
+    return process.validate()
+
+
+def builtin_processes() -> dict:
+    """Name -> factory for every shipped process."""
+    return {
+        "nmos": nmos_process,
+        "cmos": cmos_process,
+    }

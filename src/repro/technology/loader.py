@@ -1,0 +1,95 @@
+"""JSON persistence for process databases.
+
+"Multiple process data bases can be stored in the computer system to
+describe various VLSI technologies" — this module is that store: a
+process serialises to a single JSON document that survives a round trip
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import TechnologyError
+from repro.technology.process import DeviceKind, DeviceType, ProcessDatabase
+
+_FORMAT_VERSION = 1
+
+
+def process_to_dict(process: ProcessDatabase) -> Dict[str, Any]:
+    """Serialise a process database to plain JSON-compatible data."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": process.name,
+        "lambda_um": process.lambda_um,
+        "row_height": process.row_height,
+        "feedthrough_width": process.feedthrough_width,
+        "track_pitch": process.track_pitch,
+        "port_pitch": process.port_pitch,
+        "description": process.description,
+        "device_types": [
+            {
+                "name": dt.name,
+                "width": dt.width,
+                "height": dt.height,
+                "kind": dt.kind.value,
+                "pin_count": dt.pin_count,
+                "description": dt.description,
+            }
+            for dt in process.device_types
+        ],
+    }
+
+
+def load_process(data: Dict[str, Any]) -> ProcessDatabase:
+    """Deserialise a process database from :func:`process_to_dict` data."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TechnologyError(
+            f"unsupported process format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    try:
+        process = ProcessDatabase(
+            name=data["name"],
+            lambda_um=float(data["lambda_um"]),
+            row_height=float(data["row_height"]),
+            feedthrough_width=float(data["feedthrough_width"]),
+            track_pitch=float(data["track_pitch"]),
+            port_pitch=float(data.get("port_pitch", 8.0)),
+            description=data.get("description", ""),
+        )
+        for entry in data.get("device_types", []):
+            process.register(
+                DeviceType(
+                    name=entry["name"],
+                    width=float(entry["width"]),
+                    height=float(entry["height"]),
+                    kind=DeviceKind(entry.get("kind", "gate")),
+                    pin_count=int(entry.get("pin_count", 2)),
+                    description=entry.get("description", ""),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TechnologyError(f"malformed process database: {exc}") from exc
+    return process
+
+
+def save_process_file(process: ProcessDatabase,
+                      path: Union[str, Path]) -> Path:
+    """Write a process database to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(process_to_dict(process), indent=2) + "\n")
+    return path
+
+
+def load_process_file(path: Union[str, Path]) -> ProcessDatabase:
+    """Read a process database from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TechnologyError(f"cannot read process file {path}: {exc}") from exc
+    return load_process(data)

@@ -1,0 +1,202 @@
+"""Process database: device geometry and layout design parameters.
+
+All dimensions are in lambda (see :mod:`repro.units`); the database
+records the physical lambda value so reports can convert.  One database
+fully parameterises both estimators:
+
+* per-device-type width/height (the paper's W_i, and device areas),
+* ``row_height`` — the fixed standard-cell row height,
+* ``feedthrough_width`` — width a feed-through cell adds to a row,
+* ``track_pitch`` — centre-to-centre spacing of routing tracks in a
+  channel (wire width + spacing),
+* ``port_pitch`` — edge length one module port consumes, used by the
+  aspect-ratio control criterion.
+
+"The estimator deals with different chip fabrication technologies ...
+and can easily be adjusted to cope with new chip fabrication processes"
+— adjusting means building another :class:`ProcessDatabase`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import TechnologyError
+from repro.netlist.model import Device
+
+
+class DeviceKind(enum.Enum):
+    """Broad device classes; layout flows treat them differently."""
+
+    GATE = "gate"            # standard cell (logic gate, flip-flop, ...)
+    TRANSISTOR = "transistor"  # full-custom primitive
+    PASSIVE = "passive"      # resistor / capacitor
+
+
+@dataclass(frozen=True)
+class DeviceType:
+    """Geometry of one device type.
+
+    ``width`` and ``height`` are in lambda.  For GATE kinds, ``height``
+    should equal the process row height (the standard-cell contract);
+    :meth:`ProcessDatabase.validate` enforces it.
+    """
+
+    name: str
+    width: float
+    height: float
+    kind: DeviceKind = DeviceKind.GATE
+    pin_count: int = 2
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TechnologyError("device type name must be non-empty")
+        if self.width <= 0 or self.height <= 0:
+            raise TechnologyError(
+                f"device type {self.name!r}: dimensions must be positive, "
+                f"got {self.width} x {self.height}"
+            )
+        if self.pin_count < 1:
+            raise TechnologyError(
+                f"device type {self.name!r}: pin_count must be >= 1"
+            )
+
+    @property
+    def area(self) -> float:
+        """Footprint in lambda^2."""
+        return self.width * self.height
+
+
+@dataclass
+class ProcessDatabase:
+    """A complete fabrication-process description."""
+
+    name: str
+    lambda_um: float
+    row_height: float
+    feedthrough_width: float
+    track_pitch: float
+    port_pitch: float = 8.0
+    description: str = ""
+    _types: Dict[str, DeviceType] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TechnologyError("process name must be non-empty")
+        for label, value in (
+            ("lambda_um", self.lambda_um),
+            ("row_height", self.row_height),
+            ("feedthrough_width", self.feedthrough_width),
+            ("track_pitch", self.track_pitch),
+            ("port_pitch", self.port_pitch),
+        ):
+            if value <= 0:
+                raise TechnologyError(
+                    f"process {self.name!r}: {label} must be positive, "
+                    f"got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # device types
+    # ------------------------------------------------------------------
+    def register(self, device_type: DeviceType) -> DeviceType:
+        """Add a device type; duplicate names are an error."""
+        if device_type.name in self._types:
+            raise TechnologyError(
+                f"process {self.name!r}: duplicate device type "
+                f"{device_type.name!r}"
+            )
+        self._types[device_type.name] = device_type
+        return device_type
+
+    def register_all(self, device_types: Iterable[DeviceType]) -> None:
+        for device_type in device_types:
+            self.register(device_type)
+
+    def has_type(self, cell: str) -> bool:
+        return cell in self._types
+
+    def device_type(self, cell: str) -> DeviceType:
+        try:
+            return self._types[cell]
+        except KeyError:
+            known = ", ".join(sorted(self._types)) or "<none>"
+            raise TechnologyError(
+                f"process {self.name!r}: unknown device type {cell!r} "
+                f"(known: {known})"
+            ) from None
+
+    @property
+    def device_types(self) -> Tuple[DeviceType, ...]:
+        return tuple(self._types.values())
+
+    # ------------------------------------------------------------------
+    # geometry resolution (the resolver callables used by the scanner)
+    # ------------------------------------------------------------------
+    def device_width(self, device: Device) -> float:
+        """Width in lambda of a device instance (override-aware)."""
+        if device.width_lambda is not None:
+            return device.width_lambda
+        return self.device_type(device.cell).width
+
+    def device_height(self, device: Device) -> float:
+        """Height in lambda of a device instance (override-aware)."""
+        if device.height_lambda is not None:
+            return device.height_lambda
+        return self.device_type(device.cell).height
+
+    def device_area(self, device: Device) -> float:
+        return self.device_width(device) * self.device_height(device)
+
+    def device_kind(self, device: Device) -> DeviceKind:
+        return self.device_type(device.cell).kind
+
+    # ------------------------------------------------------------------
+    # consistency
+    # ------------------------------------------------------------------
+    def validate(self) -> "ProcessDatabase":
+        """Check the standard-cell contract: all GATE heights == row height."""
+        for device_type in self._types.values():
+            if device_type.kind is DeviceKind.GATE and not _close(
+                device_type.height, self.row_height
+            ):
+                raise TechnologyError(
+                    f"process {self.name!r}: gate {device_type.name!r} height "
+                    f"{device_type.height} != row height {self.row_height}"
+                )
+        return self
+
+    def scaled(self, name: str, factor: float) -> "ProcessDatabase":
+        """Derive a process with all lambda dimensions scaled by ``factor``.
+
+        Useful for what-if studies ("how big would this module be in a
+        half-shrunk process"); lambda_um is divided by the same factor so
+        physical areas shrink quadratically.
+        """
+        if factor <= 0:
+            raise TechnologyError(f"scale factor must be positive, got {factor}")
+        derived = ProcessDatabase(
+            name=name,
+            lambda_um=self.lambda_um / factor,
+            row_height=self.row_height,
+            feedthrough_width=self.feedthrough_width,
+            track_pitch=self.track_pitch,
+            port_pitch=self.port_pitch,
+            description=f"{self.description} (scaled x{factor})".strip(),
+        )
+        for device_type in self._types.values():
+            derived.register(replace(device_type))
+        return derived
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessDatabase({self.name!r}, lambda={self.lambda_um}um, "
+            f"{len(self._types)} device types)"
+        )
+
+
+def _close(a: float, b: float, tolerance: float = 1e-9) -> bool:
+    return abs(a - b) <= tolerance * max(1.0, abs(a), abs(b))

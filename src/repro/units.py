@@ -1,0 +1,104 @@
+"""Dimension handling in lambda-based design rules.
+
+The paper works throughout in the Mead-Conway scalable design-rule system:
+all geometry is expressed in units of ``lambda``, the maximum allowable
+mask misalignment, and areas in ``lambda**2``.  A process database carries
+the physical value of lambda (in micrometres) for one fabrication process;
+these helpers convert between the scalable and the physical domains.
+
+Keeping the conversion in one place avoids the classic unit bug where one
+subsystem works in lambda and another in microns.  Everything inside
+:mod:`repro` works in lambda; conversion to physical units happens only at
+reporting boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lambda_to_microns(value_lambda: float, lambda_um: float) -> float:
+    """Convert a length in lambda to micrometres.
+
+    ``lambda_um`` is the physical size of one lambda for the process,
+    e.g. 2.5 for the paper's nMOS process.
+    """
+    if lambda_um <= 0:
+        raise ValueError(f"lambda_um must be positive, got {lambda_um}")
+    return value_lambda * lambda_um
+
+
+def microns_to_lambda(value_um: float, lambda_um: float) -> float:
+    """Convert a length in micrometres to lambda."""
+    if lambda_um <= 0:
+        raise ValueError(f"lambda_um must be positive, got {lambda_um}")
+    return value_um / lambda_um
+
+
+def area_lambda2_to_um2(area_lambda2: float, lambda_um: float) -> float:
+    """Convert an area in lambda^2 to square micrometres."""
+    if lambda_um <= 0:
+        raise ValueError(f"lambda_um must be positive, got {lambda_um}")
+    return area_lambda2 * lambda_um * lambda_um
+
+
+def area_um2_to_lambda2(area_um2: float, lambda_um: float) -> float:
+    """Convert an area in square micrometres to lambda^2."""
+    if lambda_um <= 0:
+        raise ValueError(f"lambda_um must be positive, got {lambda_um}")
+    return area_um2 / (lambda_um * lambda_um)
+
+
+def area_lambda2_to_mm2(area_lambda2: float, lambda_um: float) -> float:
+    """Convert an area in lambda^2 to square millimetres."""
+    return area_lambda2_to_um2(area_lambda2, lambda_um) / 1e6
+
+
+def format_area(area_lambda2: float, lambda_um: float | None = None) -> str:
+    """Render an area for reports: lambda^2 first, physical in brackets."""
+    if area_lambda2 < 0:
+        raise ValueError(f"area must be non-negative, got {area_lambda2}")
+    text = f"{area_lambda2:,.0f} lambda^2"
+    if lambda_um is not None:
+        um2 = area_lambda2_to_um2(area_lambda2, lambda_um)
+        if um2 >= 1e6:
+            text += f" ({um2 / 1e6:.3f} mm^2)"
+        else:
+            text += f" ({um2:,.1f} um^2)"
+    return text
+
+
+def aspect_ratio(width: float, height: float) -> float:
+    """Width / height aspect ratio, guarding degenerate dimensions."""
+    if width <= 0 or height <= 0:
+        raise ValueError(f"dimensions must be positive, got {width} x {height}")
+    return width / height
+
+
+def normalized_aspect(width: float, height: float) -> float:
+    """Aspect ratio folded to be >= 1 (shape regardless of orientation)."""
+    ratio = aspect_ratio(width, height)
+    return ratio if ratio >= 1.0 else 1.0 / ratio
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def round_up(value: float) -> int:
+    """Round a non-negative expectation value up to the next integer.
+
+    The paper rounds every expectation (E(i), E(M)) up; a tiny epsilon
+    guards against floating noise pushing an exact integer over the edge.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    nearest = round(value)
+    if abs(value - nearest) <= 1e-9:
+        return int(nearest)
+    return int(math.ceil(value))

@@ -1,0 +1,53 @@
+"""Workload circuits: generators and the paper-analogue suites.
+
+The paper's evaluation circuits (Newkirk & Mathews full-custom
+examples, Rutgers NMOS standard-cell designs) are not available; this
+package builds structured synthetic circuits of the same character and
+scale:
+
+* :mod:`repro.workloads.generators` — parametric circuit families:
+  random logic with a locality knob, ripple-carry adders, registers,
+  decoders, multiplexer trees, and gate-to-transistor expansion for
+  full-custom (transistor-level) modules.
+* :mod:`repro.workloads.suites` — the fixed T1 (five full-custom
+  modules) and T2 (two standard-cell modules) suites the benchmark
+  harness runs.
+"""
+
+from repro.workloads.generators import (
+    adder_module,
+    alu_slice_module,
+    counter_module,
+    decoder_module,
+    lfsr_module,
+    expand_to_transistors,
+    expand_to_transistors_cmos,
+    mux_tree_module,
+    pass_transistor_chain,
+    random_gate_module,
+    register_file_module,
+)
+from repro.workloads.suites import (
+    Table1Case,
+    Table2Case,
+    table1_suite,
+    table2_suite,
+)
+
+__all__ = [
+    "Table1Case",
+    "Table2Case",
+    "adder_module",
+    "alu_slice_module",
+    "counter_module",
+    "decoder_module",
+    "lfsr_module",
+    "expand_to_transistors",
+    "expand_to_transistors_cmos",
+    "mux_tree_module",
+    "pass_transistor_chain",
+    "random_gate_module",
+    "register_file_module",
+    "table1_suite",
+    "table2_suite",
+]

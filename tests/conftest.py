@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (processes, suite modules) are session-scoped;
+annealing-based tests use the ``fast_schedule`` fixture so the whole
+suite stays quick.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.layout.annealing import AnnealingSchedule
+from repro.netlist.builder import NetlistBuilder
+from repro.technology.libraries import cmos_process, nmos_process
+
+
+@pytest.fixture(scope="session")
+def nmos():
+    return nmos_process()
+
+
+@pytest.fixture(scope="session")
+def cmos():
+    return cmos_process()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def fast_schedule():
+    """A tiny annealing budget for tests that only need legality."""
+    return AnnealingSchedule(moves_per_stage=20, stages=4, cooling=0.7)
+
+
+@pytest.fixture
+def half_adder():
+    """Two-gate module with named ports: the smallest realistic module."""
+    return (
+        NetlistBuilder("half_adder")
+        .inputs("a", "b")
+        .outputs("s", "c")
+        .gate("XOR2", "x1", a="a", b="b", y="s")
+        .gate("AND2", "a1", a="a", b="b", y="c")
+        .build()
+    )
+
+
+@pytest.fixture
+def small_gate_module():
+    """A ~12-cell module exercising multi-row placement and routing."""
+    builder = NetlistBuilder("small")
+    builder.inputs("i0", "i1", "i2", "i3").outputs("o0", "o1")
+    builder.gate("NAND2", "g0", a="i0", b="i1", y="n0")
+    builder.gate("NAND2", "g1", a="i2", b="i3", y="n1")
+    builder.gate("NOR2", "g2", a="n0", b="n1", y="n2")
+    builder.gate("INV", "g3", a="n2", y="n3")
+    builder.gate("XOR2", "g4", a="n3", b="i0", y="n4")
+    builder.gate("AOI21", "g5", a="n4", b="n1", c="i1", y="n5")
+    builder.gate("NAND3", "g6", a="n5", b="n0", c="i2", y="n6")
+    builder.gate("DFF", "g7", d="n6", ck="i3", q="n7")
+    builder.gate("INV", "g8", a="n7", y="n8")
+    builder.gate("MUX2", "g9", a="n8", b="n4", s="n2", y="n9")
+    builder.gate("INV", "g10", a="n9", y="o0")
+    builder.gate("INV", "g11", a="n8", y="o1")
+    return builder.build()
+
+
+@pytest.fixture
+def transistor_module():
+    """A small transistor-level module for full-custom paths."""
+    builder = NetlistBuilder("xtor")
+    builder.inputs("a", "b").outputs("y")
+    builder.transistor("nmos_enh", "t1", gate="a", drain="w", source="gnd")
+    builder.transistor("nmos_enh", "t2", gate="b", drain="w", source="gnd")
+    builder.transistor("nmos_dep", "t3", gate="w", drain="vdd", source="w")
+    builder.transistor("nmos_enh", "t4", gate="w", drain="y", source="gnd")
+    builder.transistor("nmos_dep", "t5", gate="y", drain="vdd", source="y")
+    return builder.build()

@@ -1,0 +1,113 @@
+"""Tests for the generic simulated-annealing engine."""
+
+import random
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.annealing import (
+    AnnealingSchedule,
+    anneal,
+    timberwolf_1988_schedule,
+)
+
+
+class NumberLineState:
+    """Toy state: walk an integer toward zero; energy = |x|."""
+
+    def __init__(self, start: int):
+        self.x = start
+        self.proposals = 0
+
+    def energy(self) -> float:
+        return abs(self.x)
+
+    def propose(self, rng: random.Random):
+        self.proposals += 1
+        step = rng.choice([-3, -1, 1, 3])
+        self.x += step
+        return step
+
+    def undo(self, step) -> None:
+        self.x -= step
+
+    def snapshot(self):
+        return self.x
+
+    def restore(self, snap) -> None:
+        self.x = snap
+
+
+class TestSchedule:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"moves_per_stage": 0},
+            {"stages": 0},
+            {"cooling": 0.0},
+            {"cooling": 1.0},
+            {"initial_temperature": -1.0},
+            {"initial_acceptance": 1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(LayoutError):
+            AnnealingSchedule(**kwargs)
+
+    def test_timberwolf_schedule_is_small(self):
+        schedule = timberwolf_1988_schedule()
+        assert schedule.stages * schedule.moves_per_stage < 1000
+
+
+class TestAnneal:
+    def test_improves_energy(self):
+        state = NumberLineState(start=50)
+        result = anneal(
+            state,
+            AnnealingSchedule(moves_per_stage=100, stages=20, cooling=0.8),
+            random.Random(0),
+        )
+        assert result.best_energy < 50
+        assert abs(state.x) == result.best_energy  # best state restored
+
+    def test_final_energy_equals_best_after_restore(self):
+        state = NumberLineState(start=30)
+        result = anneal(state, rng=random.Random(1))
+        assert result.final_energy == result.best_energy
+
+    def test_deterministic_with_seed(self):
+        results = []
+        for _ in range(2):
+            state = NumberLineState(start=40)
+            anneal(
+                state,
+                AnnealingSchedule(moves_per_stage=50, stages=5, cooling=0.8),
+                random.Random(42),
+            )
+            results.append(state.x)
+        assert results[0] == results[1]
+
+    def test_counts_moves(self):
+        state = NumberLineState(start=10)
+        schedule = AnnealingSchedule(moves_per_stage=10, stages=3,
+                                     cooling=0.8,
+                                     initial_temperature=1.0)
+        result = anneal(state, schedule, random.Random(0))
+        assert result.attempted_moves == 30
+        assert 0 <= result.accepted_moves <= 30
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_explicit_temperature_skips_calibration(self):
+        state = NumberLineState(start=10)
+        schedule = AnnealingSchedule(moves_per_stage=5, stages=2,
+                                     cooling=0.5,
+                                     initial_temperature=2.0)
+        anneal(state, schedule, random.Random(0))
+        # Calibration would have added ~50 probe proposals.
+        assert state.proposals == 10
+
+    def test_already_optimal_state_unharmed(self):
+        state = NumberLineState(start=0)
+        result = anneal(state, rng=random.Random(3))
+        assert result.best_energy == 0
+        assert state.x == 0

@@ -1,0 +1,65 @@
+"""Tests for aspect-ratio helpers (Section 5)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aspect import (
+    aspect_within_typical_range,
+    fits_ports,
+    full_custom_dimensions,
+)
+from repro.errors import EstimationError
+
+
+class TestFullCustomDimensions:
+    @given(
+        area=st.floats(min_value=1.0, max_value=1e9),
+        ports=st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_area_always_preserved(self, area, ports):
+        width, height = full_custom_dimensions(area, ports)
+        assert width * height == pytest.approx(area, rel=1e-9)
+
+    @given(
+        area=st.floats(min_value=1.0, max_value=1e9),
+        ports=st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_ports_always_fit_on_long_edge(self, area, ports):
+        width, height = full_custom_dimensions(area, ports)
+        assert fits_ports(width, height, ports)
+
+    def test_zero_ports_gives_square(self):
+        width, height = full_custom_dimensions(400.0, 0.0)
+        assert width == height == 20.0
+
+
+class TestFitsPorts:
+    def test_fits_on_longer_edge(self):
+        assert fits_ports(100.0, 10.0, 80.0)
+        assert fits_ports(10.0, 100.0, 80.0)
+
+    def test_rejects_when_too_long(self):
+        assert not fits_ports(50.0, 40.0, 80.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(EstimationError):
+            fits_ports(0.0, 10.0, 5.0)
+
+
+class TestTypicalRange:
+    def test_square_in_range(self):
+        assert aspect_within_typical_range(10.0, 10.0)
+
+    def test_one_to_two_boundary(self):
+        assert aspect_within_typical_range(20.0, 10.0)
+        assert not aspect_within_typical_range(21.0, 10.0)
+
+    def test_orientation_independent(self):
+        assert aspect_within_typical_range(10.0, 20.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(EstimationError):
+            aspect_within_typical_range(-1.0, 5.0)

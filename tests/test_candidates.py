@@ -1,0 +1,173 @@
+"""Tests for multi-candidate aspect-ratio output (Section 7 extension)."""
+
+import pytest
+
+from repro.core.candidates import (
+    candidate_shapes,
+    full_custom_candidates,
+    standard_cell_candidates,
+    _spread_around,
+)
+from repro.core.config import EstimatorConfig
+from repro.core.standard_cell import choose_initial_rows
+from repro.errors import EstimationError
+from repro.netlist.stats import scan_module
+
+
+class TestSpreadAround:
+    def test_centred(self):
+        assert _spread_around(5, 5, 64) == [3, 4, 5, 6, 7]
+
+    def test_clipped_at_one(self):
+        assert _spread_around(1, 3, 64) == [1, 2, 3]
+
+    def test_clipped_at_max(self):
+        assert _spread_around(64, 3, 64) == [62, 63, 64]
+
+    def test_count_one(self):
+        assert _spread_around(4, 1, 64) == [4]
+
+
+class TestStandardCellCandidates:
+    def test_count_respected(self, small_gate_module, nmos):
+        candidates = standard_cell_candidates(small_gate_module, nmos,
+                                              count=5)
+        assert len(candidates) == 5
+        assert len({c.rows for c in candidates}) == 5
+
+    def test_centred_on_initial_rows(self, small_gate_module, nmos):
+        stats = scan_module(
+            small_gate_module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+            port_width=nmos.port_pitch,
+        )
+        centre = choose_initial_rows(stats, nmos)
+        candidates = standard_cell_candidates(small_gate_module, nmos,
+                                              count=3)
+        assert centre in {c.rows for c in candidates}
+
+    def test_fixed_rows_config_centres_there(self, small_gate_module, nmos):
+        candidates = standard_cell_candidates(
+            small_gate_module, nmos, EstimatorConfig(rows=4), count=3
+        )
+        assert 4 in {c.rows for c in candidates}
+
+    def test_distinct_shapes(self, small_gate_module, nmos):
+        candidates = standard_cell_candidates(small_gate_module, nmos,
+                                              count=4)
+        widths = {round(c.width, 3) for c in candidates}
+        assert len(widths) == len(candidates)
+
+    def test_zero_count_rejected(self, small_gate_module, nmos):
+        with pytest.raises(EstimationError):
+            standard_cell_candidates(small_gate_module, nmos, count=0)
+
+
+class TestFullCustomCandidates:
+    def test_all_areas_equal(self, transistor_module, nmos):
+        candidates = full_custom_candidates(transistor_module, nmos)
+        areas = {round(c.width * c.height, 3) for c in candidates}
+        assert len(areas) == 1
+
+    def test_aspects_in_band(self, transistor_module, nmos):
+        candidates = full_custom_candidates(transistor_module, nmos)
+        for candidate in candidates:
+            aspect = candidate.width / candidate.height
+            # 1:1 .. 2:1 plus possibly the port-stretched base shape.
+            assert aspect >= 1.0 - 1e-9
+
+    def test_port_criterion_enforced(self, nmos):
+        from repro.workloads.generators import pass_transistor_chain
+
+        module = pass_transistor_chain("c", stages=14)  # 16 ports
+        candidates = full_custom_candidates(module, nmos)
+        stats = scan_module(
+            module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+            port_width=nmos.port_pitch,
+        )
+        for candidate in candidates:
+            assert max(candidate.width, candidate.height) >= (
+                stats.total_port_width - 1e-9
+            )
+
+    def test_at_least_one_candidate(self, nmos):
+        from repro.workloads.generators import pass_transistor_chain
+
+        module = pass_transistor_chain("c", stages=20)
+        assert full_custom_candidates(module, nmos)
+
+    def test_custom_aspect_list(self, nmos):
+        # Few ports relative to area, so the square candidate survives
+        # the port criterion.
+        from repro.netlist.builder import NetlistBuilder
+
+        builder = NetlistBuilder("big").inputs("a").outputs("y")
+        previous = "a"
+        for stage in range(30):
+            nxt = "y" if stage == 29 else f"n{stage}"
+            builder.transistor("nmos_enh", f"e{stage}", gate=previous,
+                               drain=nxt, source="gnd")
+            builder.transistor("nmos_dep", f"l{stage}", gate=nxt,
+                               drain="vdd", source=nxt)
+            previous = nxt
+        module = builder.build()
+        candidates = full_custom_candidates(module, nmos, aspects=(1.0,))
+        assert any(
+            abs(c.width - c.height) < 1e-6 for c in candidates
+        )
+
+    def test_bad_aspects_rejected(self, transistor_module, nmos):
+        with pytest.raises(EstimationError):
+            full_custom_candidates(transistor_module, nmos, aspects=())
+        with pytest.raises(EstimationError):
+            full_custom_candidates(transistor_module, nmos,
+                                   aspects=(0.0,))
+
+
+class TestCandidateShapes:
+    def test_merged_labels(self, small_gate_module, nmos):
+        shapes = candidate_shapes(small_gate_module, nmos, count=3)
+        labels = [label for label, _, _ in shapes]
+        assert any(label.startswith("sc-") for label in labels)
+        assert any(label.startswith("fc-") for label in labels)
+
+    def test_paper_count_four_or_five(self, small_gate_module, nmos):
+        """Section 7 asks for 'four or five aspect ratio estimates';
+        the default configuration provides at least that many."""
+        shapes = candidate_shapes(small_gate_module, nmos, count=5)
+        assert len(shapes) >= 5
+
+    def test_floorplanner_gains_from_candidates(self, nmos):
+        """More candidate shapes can only tighten the floorplan."""
+        from repro.floorplan.floorplanner import FloorplanModule, floorplan
+        from repro.floorplan.shapes import ShapeList
+        from repro.layout.annealing import AnnealingSchedule
+        from repro.workloads.generators import counter_module, decoder_module
+
+        schedule = AnnealingSchedule(moves_per_stage=40, stages=10,
+                                     cooling=0.8)
+        modules = [
+            counter_module("c", bits=6),
+            decoder_module("d", address_bits=2),
+        ]
+
+        def plan_with(count):
+            fp_modules = []
+            for module in modules:
+                shapes = candidate_shapes(module, nmos, count=count)
+                fp_modules.append(
+                    FloorplanModule(
+                        module.name,
+                        ShapeList.from_dimensions(
+                            [(w, h) for _, w, h in shapes]
+                        ),
+                    )
+                )
+            return floorplan(fp_modules, seed=1, schedule=schedule)
+
+        rich = plan_with(5)
+        poor = plan_with(1)
+        assert rich.area <= poor.area * 1.05

@@ -1,0 +1,143 @@
+"""Tests for the channel router (left-edge algorithm + VCG)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Interval, interval_density
+from repro.layout.routing.channel import ChannelNet, route_channel
+
+
+def net(name, left, right, top=(), bottom=()):
+    return ChannelNet(name, Interval(left, right), tuple(top), tuple(bottom))
+
+
+class TestLeftEdge:
+    def test_empty_channel(self):
+        result = route_channel([])
+        assert result.tracks == 0
+        assert result.density == 0
+
+    def test_disjoint_nets_share_a_track(self):
+        result = route_channel([net("a", 0, 2), net("b", 3, 5)])
+        assert result.tracks == 1
+        assert result.assignment["a"] == result.assignment["b"]
+
+    def test_overlapping_nets_split(self):
+        result = route_channel([net("a", 0, 4), net("b", 2, 6)])
+        assert result.tracks == 2
+
+    def test_touching_nets_conflict(self):
+        result = route_channel([net("a", 0, 2), net("b", 2, 4)])
+        assert result.tracks == 2
+
+    def test_classic_example_density_achieved(self):
+        nets = [
+            net("a", 0, 3), net("b", 1, 5), net("c", 4, 8),
+            net("d", 6, 9), net("e", 2, 7),
+        ]
+        result = route_channel(nets)
+        assert result.tracks == result.density
+        assert result.density == interval_density(n.interval for n in nets)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_left_edge_is_density_optimal(self, raw):
+        """Unconstrained LEA always achieves exactly the density."""
+        nets = [
+            net(f"n{i}", min(a, b), max(a, b))
+            for i, (a, b) in enumerate(raw)
+        ]
+        result = route_channel(nets)
+        assert result.tracks == result.density
+
+    def test_duplicate_net_rejected(self):
+        with pytest.raises(LayoutError, match="twice"):
+            route_channel([net("a", 0, 1), net("a", 2, 3)])
+
+    def test_validate_catches_overlap(self):
+        nets = [net("a", 0, 4), net("b", 2, 6)]
+        result = route_channel(nets)
+        result.assignment["b"] = result.assignment["a"]
+        with pytest.raises(LayoutError, match="overlap"):
+            result.validate(nets)
+
+
+class TestConstrained:
+    def test_respects_vertical_constraint(self):
+        # At column 2: net "top" has a top pin, net "bot" a bottom pin,
+        # so "top" must be strictly above "bot" even though their
+        # intervals could share a track.
+        nets = [
+            net("top", 0, 2, top=(2.0,)),
+            net("bot", 2.5, 5, bottom=(2.0,)),
+        ]
+        # Without the shared column they would share a track... but the
+        # bottom pin is at column 2.0 which belongs to "top"'s interval
+        # end; make the intervals overlap-free but constrained:
+        result = route_channel(nets, constrained=True)
+        assert result.assignment["top"] < result.assignment["bot"]
+        assert result.constraint_violations == 0
+
+    def test_unconstrained_ignores_pins(self):
+        nets = [
+            net("top", 0, 2, top=(2.0,)),
+            net("bot", 2.5, 5, bottom=(2.0,)),
+        ]
+        result = route_channel(nets, constrained=False)
+        assert result.tracks == 1
+
+    def test_chain_of_constraints(self):
+        nets = [
+            net("a", 0, 1, top=(0.5,)),
+            net("b", 2, 3, top=(2.5,), bottom=(0.5,)),
+            net("c", 4, 5, bottom=(2.5,)),
+        ]
+        result = route_channel(nets, constrained=True)
+        assert result.assignment["a"] < result.assignment["b"]
+        assert result.assignment["b"] < result.assignment["c"]
+        assert result.tracks == 3
+
+    def test_cycle_resolved_with_violation(self):
+        # a above b at column 1, b above a at column 2: a VCG cycle.
+        nets = [
+            net("a", 0, 3, top=(1.0,), bottom=(2.0,)),
+            net("b", 1, 4, top=(2.0,), bottom=(1.0,)),
+        ]
+        result = route_channel(nets, constrained=True)
+        assert result.constraint_violations >= 1
+        assert set(result.assignment) == {"a", "b"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(1, 25))
+    def test_constrained_never_beats_density(self, seed, count):
+        rng = random.Random(seed)
+        nets = []
+        for i in range(count):
+            left = rng.uniform(0, 50)
+            right = left + rng.uniform(0.5, 30)
+            top = tuple(
+                rng.uniform(left, right) for _ in range(rng.randint(0, 2))
+            )
+            bottom = tuple(
+                rng.uniform(left, right) for _ in range(rng.randint(0, 2))
+            )
+            nets.append(net(f"n{i}", left, right, top, bottom))
+        result = route_channel(nets, constrained=True)
+        assert result.tracks >= result.density
+        # And the assignment is always overlap-free.
+        result.validate(nets)
+
+    def test_shared_column_same_net_no_self_constraint(self):
+        nets = [net("a", 0, 4, top=(2.0,), bottom=(2.0,))]
+        result = route_channel(nets, constrained=True)
+        assert result.tracks == 1
+        assert result.constraint_violations == 0

@@ -1,0 +1,104 @@
+"""Tests for the static-CMOS transistor expansion."""
+
+import pytest
+
+from repro.core.full_custom import estimate_full_custom
+from repro.errors import NetlistError
+from repro.layout.full_custom_flow import layout_full_custom
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.validate import validate_module
+from repro.workloads.generators import expand_to_transistors_cmos
+
+
+def gate_module(cell, pins):
+    builder = NetlistBuilder("m").inputs(*pins).outputs("y")
+    builder.gate(cell, "g", **{p: p for p in pins}, y="y")
+    return builder.build()
+
+
+class TestExpansion:
+    def test_inverter_complementary_pair(self):
+        xtor = expand_to_transistors_cmos(gate_module("INV", ["a"]))
+        assert xtor.cell_usage() == {"nmos": 1, "pmos": 1}
+
+    def test_nand2_two_plus_two(self):
+        xtor = expand_to_transistors_cmos(gate_module("NAND2", ["a", "b"]))
+        assert xtor.cell_usage() == {"nmos": 2, "pmos": 2}
+        # Pull-down is series: exactly one nmos drain on the output.
+        y = xtor.net("y")
+        nmos_on_y = [
+            d for d in y.devices()
+            if xtor.device(d).cell == "nmos"
+        ]
+        assert len(nmos_on_y) == 1
+        # Pull-up is parallel: both pmos sources reach the output.
+        pmos_on_y = [
+            d for d in y.devices()
+            if xtor.device(d).cell == "pmos"
+        ]
+        assert len(pmos_on_y) == 2
+
+    def test_nor2_duality(self):
+        xtor = expand_to_transistors_cmos(gate_module("NOR2", ["a", "b"]))
+        assert xtor.cell_usage() == {"nmos": 2, "pmos": 2}
+        y = xtor.net("y")
+        # Dual of NAND: both nmos on the output, one pmos chain end.
+        nmos_on_y = [
+            d for d in y.devices() if xtor.device(d).cell == "nmos"
+        ]
+        assert len(nmos_on_y) == 2
+
+    def test_and2_gains_inverter(self):
+        xtor = expand_to_transistors_cmos(gate_module("AND2", ["a", "b"]))
+        assert xtor.cell_usage() == {"nmos": 3, "pmos": 3}
+
+    def test_aoi21(self):
+        xtor = expand_to_transistors_cmos(
+            gate_module("AOI21", ["a", "b", "c"])
+        )
+        assert xtor.cell_usage() == {"nmos": 3, "pmos": 3}
+
+    def test_validates(self):
+        from repro.workloads.generators import random_gate_module
+
+        mix = (("NAND2", 2.0), ("NOR2", 2.0), ("INV", 1.0), ("AOI21", 1.0))
+        module = random_gate_module("r", gates=15, inputs=4, outputs=2,
+                                    seed=4, cell_mix=mix, locality=0.8)
+        xtor = expand_to_transistors_cmos(module)
+        validate_module(xtor)
+
+    def test_ports_preserved(self):
+        xtor = expand_to_transistors_cmos(gate_module("INV", ["a"]),
+                                          name="renamed")
+        assert xtor.name == "renamed"
+        assert {p.name for p in xtor.ports} == {"a", "y"}
+
+    def test_unsupported_cell_rejected(self):
+        module = gate_module("XOR2", ["a", "b"])
+        with pytest.raises(NetlistError, match="no transistor expansion"):
+            expand_to_transistors_cmos(module)
+
+
+class TestCmosFullCustomFlow:
+    """The paper's cross-technology claim, at the transistor level."""
+
+    def test_estimable_under_cmos(self, cmos):
+        xtor = expand_to_transistors_cmos(gate_module("NAND2", ["a", "b"]))
+        estimate = estimate_full_custom(xtor, cmos)
+        assert estimate.area > 0
+        # 2 nmos (8x10) + 2 pmos (12x10)
+        assert estimate.device_area == pytest.approx(2 * 80 + 2 * 120)
+
+    def test_layout_oracle_under_cmos(self, cmos):
+        from repro.workloads.generators import random_gate_module
+
+        mix = (("NAND2", 2.0), ("NOR2", 2.0), ("INV", 1.0))
+        module = random_gate_module("r", gates=10, inputs=3, outputs=2,
+                                    seed=7, cell_mix=mix, locality=0.9)
+        xtor = expand_to_transistors_cmos(module)
+        estimate = estimate_full_custom(xtor, cmos)
+        layout = layout_full_custom(xtor, cmos, seed=1,
+                                    anneal_ordering=False)
+        # Same sanity band as the nMOS flow.
+        assert estimate.area <= layout.area * 1.2
+        assert layout.validate()

@@ -1,0 +1,117 @@
+"""Tests for the Deutsch full-dogleg channel router."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.geometry import Interval
+from repro.layout.routing.channel import (
+    ChannelNet,
+    _split_at_pins,
+    route_channel,
+    route_channel_dogleg,
+)
+
+
+def net(name, left, right, top=(), bottom=()):
+    return ChannelNet(name, Interval(left, right), tuple(top), tuple(bottom))
+
+
+class TestSplitting:
+    def test_two_pin_net_not_split(self):
+        pieces = _split_at_pins(net("a", 0, 10, top=(0.0,), bottom=(10.0,)))
+        assert len(pieces) == 1
+        assert pieces[0].interval == Interval(0, 10)
+
+    def test_internal_pin_splits(self):
+        pieces = _split_at_pins(
+            net("a", 0, 10, top=(0.0, 4.0), bottom=(10.0,))
+        )
+        assert [p.interval for p in pieces] == [
+            Interval(0, 4), Interval(4, 10)
+        ]
+
+    def test_cut_column_pin_owned_by_exactly_one_piece(self):
+        pieces = _split_at_pins(
+            net("a", 0, 10, top=(0.0, 4.0), bottom=(10.0,))
+        )
+        owners = [
+            p for p in pieces
+            if 4.0 in p.top_columns or 4.0 in p.bottom_columns
+        ]
+        assert len(owners) == 1
+
+    def test_piece_names_unique(self):
+        pieces = _split_at_pins(
+            net("a", 0, 10, top=(2.0, 5.0, 8.0), bottom=(0.0, 10.0))
+        )
+        names = [p.name for p in pieces]
+        assert len(set(names)) == len(names)
+
+
+class TestDoglegRouting:
+    def test_empty(self):
+        result = route_channel_dogleg([])
+        assert result.tracks == 0
+
+    def test_simple_channel_matches_density(self):
+        nets = [
+            net("a", 0, 3, top=(0.0,), bottom=(3.0,)),
+            net("b", 4, 7, top=(4.0,), bottom=(7.0,)),
+        ]
+        result = route_channel_dogleg(nets)
+        assert result.tracks == 1
+
+    def test_cycle_broken_without_violation(self):
+        """The classic VCG cycle: doglegs dissolve it."""
+        nets = [
+            net("a", 0, 3, top=(1.0,), bottom=(2.0,)),
+            net("b", 1, 4, top=(2.0,), bottom=(1.0,)),
+        ]
+        plain = route_channel(nets, constrained=True)
+        dogleg = route_channel_dogleg(nets)
+        assert plain.constraint_violations >= 1
+        assert dogleg.constraint_violations == 0
+
+    def test_segments_cover_original_interval(self):
+        nets = [net("a", 0, 10, top=(0.0, 4.0, 7.0), bottom=(10.0,))]
+        result = route_channel_dogleg(nets)
+        intervals = [interval for interval, _ in result.segments["a"]]
+        assert intervals[0].left == 0.0
+        assert intervals[-1].right == 10.0
+        for left, right in zip(intervals, intervals[1:]):
+            assert left.right == right.left  # contiguous at cut columns
+
+    def test_tracks_of(self):
+        nets = [net("a", 0, 10, top=(0.0, 5.0), bottom=(10.0,))]
+        result = route_channel_dogleg(nets)
+        assert len(result.tracks_of("a")) == 2
+        assert result.tracks_of("ghost") == ()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(1, 15))
+    def test_dogleg_never_worse_than_cycle_penalty(self, seed, count):
+        """Doglegs should not *increase* violations, and the result is
+        always a legal assignment."""
+        rng = random.Random(seed)
+        nets = []
+        for i in range(count):
+            left = rng.uniform(0, 40)
+            right = left + rng.uniform(1.0, 25)
+            pins = sorted(
+                rng.uniform(left, right) for _ in range(rng.randint(2, 4))
+            )
+            half = len(pins) // 2
+            nets.append(net(f"n{i}", left, right,
+                            top=tuple(pins[:half]),
+                            bottom=tuple(pins[half:])))
+        dogleg = route_channel_dogleg(nets)
+        assert dogleg.constraint_violations == 0 or (
+            dogleg.constraint_violations
+            <= route_channel(nets, constrained=True).constraint_violations
+        )
+        assert dogleg.tracks >= dogleg.density - 0  # sanity
+        # Every net retained all its segments.
+        assert set(dogleg.segments) == {n.name for n in nets}

@@ -1,0 +1,123 @@
+"""Property-based end-to-end invariants over random modules.
+
+These are the repository's strongest correctness statements: for *any*
+generated module, the paper's structural claims and the flows'
+geometric invariants hold.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import estimate_full_custom
+from repro.core.standard_cell import estimate_standard_cell
+from repro.layout.annealing import AnnealingSchedule
+from repro.layout.full_custom_flow import layout_full_custom
+from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.technology.libraries import nmos_process
+from repro.workloads.generators import (
+    expand_to_transistors,
+    random_gate_module,
+)
+
+PROCESS = nmos_process()
+TINY = AnnealingSchedule(moves_per_stage=15, stages=3, cooling=0.7)
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+module_params = st.tuples(
+    st.integers(min_value=4, max_value=24),   # gates
+    st.integers(min_value=0, max_value=500),  # seed
+    st.floats(min_value=0.0, max_value=1.0),  # locality
+    st.integers(min_value=2, max_value=4),    # rows
+)
+
+
+@SLOW
+@given(params=module_params)
+def test_estimate_upper_bounds_routed_layout(params):
+    """The paper's central Table 2 property, for arbitrary modules.
+
+    Restricted to the estimator's stated domain: enough cells per row
+    for the W_avg * N / n width model to hold ("the estimator works
+    well for small and moderate-sized modules"); with only a couple of
+    wide cells per row the discrete packing can exceed the average-
+    width row length.
+    """
+    gates, seed, locality, rows = params
+    rows = max(1, min(rows, gates // 6))
+    module = random_gate_module("p", gates=gates, inputs=3, outputs=2,
+                                seed=seed, locality=locality)
+    estimate = estimate_standard_cell(module, PROCESS,
+                                      EstimatorConfig(rows=rows))
+    layout = layout_standard_cell(module, PROCESS, rows=rows, seed=seed,
+                                  schedule=TINY)
+    assert estimate.tracks >= layout.tracks
+    assert estimate.feedthroughs * PROCESS.feedthrough_width >= 0
+    assert estimate.area >= layout.area * 0.95  # bound with tiny slack
+
+
+@SLOW
+@given(params=module_params)
+def test_layout_geometry_invariants(params):
+    gates, seed, locality, rows = params
+    module = random_gate_module("p", gates=gates, inputs=3, outputs=2,
+                                seed=seed, locality=locality)
+    layout = layout_standard_cell(module, PROCESS, rows=rows, seed=seed,
+                                  schedule=TINY, keep_placement=True)
+    # Geometry identities.
+    assert layout.area == pytest.approx(layout.width * layout.height)
+    assert layout.tracks >= layout.total_density
+    # Placement legality survived routing.
+    layout.placement.validate()
+    # Every original device is still placed (feed-throughs only add).
+    placed = {
+        name for name, cell in layout.placement.cells.items()
+        if not cell.is_feedthrough
+    }
+    assert placed == {d.name for d in module.devices}
+
+
+@SLOW
+@given(
+    gates=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_full_custom_estimate_is_lower_bound_spirit(gates, seed):
+    """Eq. 13 is 'a lower bound, according to the minimum connection
+    length standard': it never exceeds the packed layout by more than
+    a small tolerance."""
+    simple_mix = (("NAND2", 2.0), ("NOR2", 2.0), ("INV", 1.0))
+    gate_level = random_gate_module("p", gates=gates, inputs=3, outputs=1,
+                                    seed=seed, cell_mix=simple_mix,
+                                    locality=0.9)
+    module = expand_to_transistors(gate_level)
+    estimate = estimate_full_custom(module, PROCESS)
+    layout = layout_full_custom(module, PROCESS, seed=seed,
+                                anneal_ordering=False)
+    assert estimate.area <= layout.area * 1.15
+    assert estimate.device_area <= layout.packed_area + 1e-6
+
+
+@SLOW
+@given(
+    gates=st.integers(min_value=4, max_value=20),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_shared_model_between_router_and_upper_bound(gates, seed):
+    """The analytic sharing estimate sits at or below the upper bound
+    and (with margin 1.0) at or above nothing pathological."""
+    module = random_gate_module("p", gates=gates, inputs=3, outputs=2,
+                                seed=seed)
+    upper = estimate_standard_cell(module, PROCESS,
+                                   EstimatorConfig(rows=3))
+    shared = estimate_standard_cell(
+        module, PROCESS, EstimatorConfig(rows=3, track_model="shared")
+    )
+    assert 0 <= shared.tracks <= upper.tracks
+    assert shared.area <= upper.area

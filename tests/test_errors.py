@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.NetlistError,
+            errors.ParseError,
+            errors.TechnologyError,
+            errors.EstimationError,
+            errors.LayoutError,
+            errors.FloorplanError,
+            errors.DatabaseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_parse_error_is_netlist_error(self):
+        assert issubclass(errors.ParseError, errors.NetlistError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+
+class TestParseError:
+    def test_location_formatting(self):
+        err = errors.ParseError("bad token", "file.v", 12)
+        assert str(err) == "file.v:12: bad token"
+        assert err.filename == "file.v"
+        assert err.line == 12
+
+    def test_no_line_omits_location(self):
+        err = errors.ParseError("bad token", "file.v")
+        assert str(err) == "bad token"
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ParseError("boom", "f", 1)

@@ -1,0 +1,103 @@
+"""Tests for the ModuleAreaEstimator facade (Fig. 1)."""
+
+import pytest
+
+from repro.core.estimator import ModuleAreaEstimator
+from repro.errors import EstimationError
+from repro.netlist.writers import write_spice, write_verilog
+
+
+class TestEstimate:
+    def test_both_methodologies_by_default(self, small_gate_module, nmos):
+        record = ModuleAreaEstimator(nmos).estimate(small_gate_module)
+        assert record.standard_cell is not None
+        assert record.full_custom is not None
+        assert record.full_custom_average is not None
+        assert record.full_custom.device_area_mode == "exact"
+        assert record.full_custom_average.device_area_mode == "average"
+
+    def test_single_methodology(self, small_gate_module, nmos):
+        record = ModuleAreaEstimator(nmos).estimate(
+            small_gate_module, ("standard-cell",)
+        )
+        assert record.standard_cell is not None
+        assert record.full_custom is None
+
+    def test_unknown_methodology_rejected(self, small_gate_module, nmos):
+        with pytest.raises(EstimationError, match="unknown"):
+            ModuleAreaEstimator(nmos).estimate(small_gate_module, ("pla",))
+
+    def test_empty_methodologies_rejected(self, small_gate_module, nmos):
+        with pytest.raises(EstimationError, match="at least one"):
+            ModuleAreaEstimator(nmos).estimate(small_gate_module, ())
+
+    def test_cpu_seconds_recorded(self, small_gate_module, nmos):
+        record = ModuleAreaEstimator(nmos).estimate(small_gate_module)
+        assert record.cpu_seconds > 0.0
+
+    def test_statistics_attached(self, small_gate_module, nmos):
+        record = ModuleAreaEstimator(nmos).estimate(small_gate_module)
+        assert record.statistics.device_count == (
+            small_gate_module.device_count
+        )
+        assert record.process_name == nmos.name
+
+    def test_best_methodology_picks_smaller(self, small_gate_module, nmos):
+        record = ModuleAreaEstimator(nmos).estimate(small_gate_module)
+        areas = {
+            "standard-cell": record.standard_cell.area,
+            "full-custom": record.full_custom.area,
+        }
+        assert record.best_methodology() == min(areas, key=areas.get)
+
+    def test_estimate_all(self, small_gate_module, half_adder, nmos):
+        records = ModuleAreaEstimator(nmos).estimate_all(
+            [small_gate_module, half_adder]
+        )
+        assert [r.module_name for r in records] == [
+            small_gate_module.name, half_adder.name
+        ]
+
+
+class TestLoadSchematic:
+    def test_verilog_by_extension(self, half_adder, nmos, tmp_path):
+        path = tmp_path / "ha.v"
+        path.write_text(write_verilog(half_adder))
+        module = ModuleAreaEstimator(nmos).load_schematic(path)
+        assert module.name == "half_adder"
+
+    def test_spice_by_extension(self, transistor_module, nmos, tmp_path):
+        path = tmp_path / "x.sp"
+        path.write_text(write_spice(transistor_module))
+        module = ModuleAreaEstimator(nmos).load_schematic(path)
+        assert module.device_count == transistor_module.device_count
+
+    def test_hierarchical_verilog_auto_flattened(self, nmos, tmp_path):
+        path = tmp_path / "hier.v"
+        path.write_text("""
+        module leaf (a, y);
+          input a; output y;
+          INV g (.a(a), .y(y));
+        endmodule
+        module top (x, z);
+          input x; output z;
+          leaf u1 (.a(x), .y(m));
+          leaf u2 (.a(m), .y(z));
+        endmodule
+        """)
+        module = ModuleAreaEstimator(nmos).load_schematic(path)
+        assert module.name == "top"
+        assert module.device_count == 2
+
+    def test_unknown_extension_rejected(self, nmos, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("whatever")
+        with pytest.raises(EstimationError, match="extension"):
+            ModuleAreaEstimator(nmos).load_schematic(path)
+
+    def test_end_to_end_from_file(self, half_adder, nmos, tmp_path):
+        path = tmp_path / "ha.v"
+        path.write_text(write_verilog(half_adder))
+        estimator = ModuleAreaEstimator(nmos)
+        record = estimator.estimate(estimator.load_schematic(path))
+        assert record.standard_cell.area > 0

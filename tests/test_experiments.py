@@ -1,0 +1,134 @@
+"""Smoke and shape tests for the experiment drivers.
+
+Full-size runs live in benchmarks/; here each experiment runs in a
+reduced configuration and its *structural* claims are asserted.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_row_sweep,
+    format_track_sharing,
+    run_row_sweep,
+)
+from repro.experiments.central_row import (
+    format_central_row,
+    run_central_row_experiment,
+)
+from repro.experiments.pipeline import (
+    format_pipeline,
+    run_pipeline_experiment,
+)
+from repro.experiments.pla_linearity import (
+    format_pla_linearity,
+    run_pla_linearity,
+)
+from repro.experiments.table1 import format_table1, run_table1
+from repro.workloads.suites import table1_suite
+
+
+class TestTable1Experiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1()
+
+    def test_five_rows(self, rows):
+        assert len(rows) == 5
+
+    def test_errors_within_twice_paper_band(self, rows):
+        """Paper: -17%..+26%.  Allow slack for the synthetic oracle but
+        insist every estimate lands within +-40% of the real layout."""
+        for row in rows:
+            assert abs(row.error_exact) < 0.40
+            assert abs(row.error_average) < 0.40
+
+    def test_mean_error_moderate(self, rows):
+        mean = sum(abs(r.error_exact) for r in rows) / len(rows)
+        assert mean < 0.25  # paper: 12 %
+
+    def test_pass_chain_has_zero_wire_estimate(self, rows):
+        starred = [r for r in rows if r.module_name == "t1_pass_chain"]
+        assert starred[0].wire_area_exact == 0.0
+
+    def test_formatting_mentions_paper_band(self, rows):
+        text = format_table1(rows)
+        assert "Table 1" in text
+        assert "-17%" in text and "+26%" in text
+
+
+class TestCentralRowExperiment:
+    def test_claim_holds_everywhere(self):
+        points = run_central_row_experiment(
+            row_counts=(3, 4, 5, 8, 11),
+            component_counts=(2, 3, 5, 8),
+            trials=800,
+        )
+        assert all(p.central_is_argmax for p in points)
+
+    def test_simulation_close_to_analytic(self):
+        points = run_central_row_experiment(
+            row_counts=(5, 9), component_counts=(2, 4), trials=5000
+        )
+        for p in points:
+            assert p.simulated_probability == pytest.approx(
+                p.analytic_probability, abs=0.03
+            )
+
+    def test_formatting(self):
+        points = run_central_row_experiment(
+            row_counts=(3,), component_counts=(2,), trials=100
+        )
+        text = format_central_row(points)
+        assert "S1" in text and "0.5" in text
+
+
+class TestPipelineExperiment:
+    def test_direct_modules(self, small_gate_module, half_adder):
+        result = run_pipeline_experiment([small_gate_module, half_adder])
+        assert len(result.database) == 2
+        assert set(result.stage_seconds) == {
+            "input_interface", "estimation", "output_interface"
+        }
+
+    def test_file_round_trip(self, small_gate_module, tmp_path):
+        result = run_pipeline_experiment(
+            [small_gate_module],
+            output_path=tmp_path / "db.json",
+            workdir=tmp_path / "schematics",
+        )
+        assert result.output_path.exists()
+        assert (tmp_path / "schematics" / "small.v").exists()
+
+    def test_formatting(self, half_adder):
+        result = run_pipeline_experiment([half_adder])
+        text = format_pipeline(result)
+        assert "F1" in text and "half_adder" in text
+
+
+class TestAblations:
+    def test_row_sweep_shape(self):
+        points = run_row_sweep(row_range=(2, 4, 6))
+        modules = {p.module_name for p in points}
+        assert len(modules) == 2
+        for module in modules:
+            mine = [p for p in points if p.module_name == module]
+            assert [p.rows for p in mine] == [2, 4, 6]
+        assert "A3" in format_row_sweep(points)
+
+    def test_row_sweep_trend_downward_overall(self):
+        points = run_row_sweep(row_range=(2, 8))
+        for module in {p.module_name for p in points}:
+            mine = sorted(
+                (p for p in points if p.module_name == module),
+                key=lambda p: p.rows,
+            )
+            assert mine[-1].est_area < mine[0].est_area
+
+
+class TestPlaExperiment:
+    def test_high_linearity(self):
+        observations, coefficients, r_squared = run_pla_linearity()
+        assert len(observations) == 24
+        assert r_squared > 0.8
+        text = format_pla_linearity(observations, coefficients, r_squared)
+        assert "R^2" in text

@@ -1,0 +1,113 @@
+"""Tests for shape lists and Stockmeyer combination."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan.shapes import Shape, ShapeList
+
+dims = st.tuples(
+    st.floats(min_value=0.5, max_value=1000.0),
+    st.floats(min_value=0.5, max_value=1000.0),
+)
+
+
+class TestShape:
+    def test_area_and_rotation(self):
+        shape = Shape(4.0, 2.0)
+        assert shape.area == 8.0
+        assert shape.rotated() == Shape(2.0, 4.0)
+
+    def test_fits_in(self):
+        assert Shape(4.0, 2.0).fits_in(4.0, 2.0)
+        assert not Shape(4.0, 2.0).fits_in(3.9, 2.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(FloorplanError):
+            Shape(0.0, 1.0)
+
+
+class TestShapeListPruning:
+    def test_dominated_shape_removed(self):
+        shapes = ShapeList([Shape(2, 5), Shape(3, 6)])  # (3,6) dominated
+        assert shapes.shapes == (Shape(2, 5),)
+
+    def test_pareto_kept_sorted(self):
+        shapes = ShapeList([Shape(5, 2), Shape(2, 5), Shape(3, 3)])
+        widths = [s.width for s in shapes]
+        heights = [s.height for s in shapes]
+        assert widths == sorted(widths)
+        assert heights == sorted(heights, reverse=True)
+
+    def test_duplicates_collapse(self):
+        shapes = ShapeList([Shape(2, 2), Shape(2, 2)])
+        assert len(shapes) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(FloorplanError):
+            ShapeList([])
+
+    @given(st.lists(dims, min_size=1, max_size=25))
+    def test_frontier_is_pareto(self, raw):
+        shapes = ShapeList([Shape(w, h) for w, h in raw])
+        kept = shapes.shapes
+        for a in kept:
+            for b in kept:
+                if a is not b:
+                    # No shape dominates another.
+                    assert not (a.width <= b.width and a.height <= b.height)
+
+    @given(st.lists(dims, min_size=1, max_size=25))
+    def test_every_input_dominated_by_some_kept(self, raw):
+        inputs = [Shape(w, h) for w, h in raw]
+        kept = ShapeList(inputs).shapes
+        for shape in inputs:
+            assert any(
+                k.width <= shape.width + 1e-12
+                and k.height <= shape.height + 1e-12
+                for k in kept
+            )
+
+    def test_from_dimensions_with_rotations(self):
+        shapes = ShapeList.from_dimensions([(4.0, 2.0)])
+        assert Shape(4.0, 2.0) in shapes.shapes or Shape(2.0, 4.0) in (
+            shapes.shapes
+        )
+        assert len(shapes) == 2
+
+
+class TestCombination:
+    def test_beside(self):
+        left = ShapeList([Shape(2, 4)])
+        right = ShapeList([Shape(3, 2)])
+        combined = left.beside(right)
+        assert combined.shapes == (Shape(5, 4),)
+
+    def test_stacked(self):
+        top = ShapeList([Shape(2, 4)])
+        bottom = ShapeList([Shape(3, 2)])
+        combined = top.stacked(bottom)
+        assert combined.shapes == (Shape(3, 6),)
+
+    @given(
+        st.lists(dims, min_size=1, max_size=8),
+        st.lists(dims, min_size=1, max_size=8),
+    )
+    def test_combined_area_at_least_sum_of_min_areas(self, raw_a, raw_b):
+        a = ShapeList([Shape(w, h) for w, h in raw_a])
+        b = ShapeList([Shape(w, h) for w, h in raw_b])
+        floor = a.min_area_shape().area + b.min_area_shape().area
+        assert a.beside(b).min_area_shape().area >= floor - 1e-6
+        assert a.stacked(b).min_area_shape().area >= floor - 1e-6
+
+
+class TestQueries:
+    def test_min_area_shape(self):
+        shapes = ShapeList([Shape(1, 10), Shape(3, 3), Shape(10, 1)])
+        assert shapes.min_area_shape() == Shape(3, 3)
+
+    def test_best_fit(self):
+        shapes = ShapeList([Shape(1, 10), Shape(3, 3), Shape(10, 1)])
+        assert shapes.best_fit(4.0, 4.0) == Shape(3, 3)
+        assert shapes.best_fit(2.0, 2.0) is None

@@ -1,0 +1,146 @@
+"""Tests for Polish expressions and slicing-tree evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan.shapes import Shape, ShapeList
+from repro.floorplan.slicing import (
+    PolishExpression,
+    evaluate_expression,
+    realize_placement,
+    validate_polish,
+)
+
+SHAPES = {
+    "a": ShapeList([Shape(2, 4), Shape(4, 2)]),
+    "b": ShapeList([Shape(3, 3)]),
+    "c": ShapeList([Shape(1, 5), Shape(5, 1)]),
+}
+
+
+class TestValidation:
+    def test_valid_expression(self):
+        validate_polish(["a", "b", "V", "c", "H"])
+
+    def test_single_operand(self):
+        validate_polish(["a"])
+
+    def test_balloting_violation(self):
+        with pytest.raises(FloorplanError, match="balloting"):
+            validate_polish(["a", "V", "b"])
+
+    def test_wrong_operator_count(self):
+        with pytest.raises(FloorplanError, match="operators"):
+            validate_polish(["a", "b"])
+
+    def test_not_normalised(self):
+        with pytest.raises(FloorplanError, match="normalised"):
+            validate_polish(["a", "b", "V", "c", "d", "V", "V", "H"])
+
+    def test_duplicate_module(self):
+        with pytest.raises(FloorplanError, match="twice"):
+            validate_polish(["a", "a", "V"])
+
+    def test_empty(self):
+        with pytest.raises(FloorplanError, match="empty"):
+            validate_polish([])
+
+
+class TestPolishExpression:
+    def test_initial_is_valid(self):
+        expr = PolishExpression.initial(["a", "b", "c", "d"])
+        validate_polish(expr.tokens)
+
+    def test_initial_single(self):
+        assert PolishExpression.initial(["a"]).tokens == ("a",)
+
+    def test_positions(self):
+        expr = PolishExpression(("a", "b", "V", "c", "H"))
+        assert expr.operand_positions == (0, 1, 3)
+        assert expr.operator_positions == (2, 4)
+
+
+class TestEvaluate:
+    def test_single_leaf(self):
+        result = evaluate_expression(["b"], SHAPES)
+        assert result.shapes == (Shape(3, 3),)
+
+    def test_vertical_cut(self):
+        result = evaluate_expression(["a", "b", "V"], SHAPES)
+        # (2,4)+(3,3) -> (5,4); (4,2)+(3,3) -> (7,3)
+        assert Shape(5, 4) in result.shapes
+        assert Shape(7, 3) in result.shapes
+
+    def test_horizontal_cut(self):
+        result = evaluate_expression(["a", "b", "H"], SHAPES)
+        assert Shape(3, 7) in result.shapes or Shape(4, 5) in result.shapes
+
+    def test_unknown_module(self):
+        with pytest.raises(FloorplanError, match="no shape list"):
+            evaluate_expression(["z"], SHAPES)
+
+    def test_malformed_stack(self):
+        with pytest.raises(FloorplanError):
+            evaluate_expression(["a", "b"], SHAPES)
+
+
+class TestRealizePlacement:
+    def test_no_overlaps_and_all_placed(self):
+        expr = ["a", "b", "V", "c", "H"]
+        placement = realize_placement(expr, SHAPES)
+        assert set(placement) == {"a", "b", "c"}
+        rects = list(placement.values())
+        for i, r1 in enumerate(rects):
+            for r2 in rects[i + 1:]:
+                assert not r1.overlaps(r2)
+
+    def test_fits_root_shape(self):
+        expr = ["a", "b", "V", "c", "H"]
+        root = evaluate_expression(expr, SHAPES)
+        best = root.min_area_shape()
+        placement = realize_placement(expr, SHAPES, best)
+        for rect in placement.values():
+            assert rect.right <= best.width + 1e-9
+            assert rect.top <= best.height + 1e-9
+
+    def test_placed_shapes_come_from_leaf_lists(self):
+        placement = realize_placement(["a", "b", "V"], SHAPES)
+        for name, rect in placement.items():
+            assert any(
+                s.width == pytest.approx(rect.width)
+                and s.height == pytest.approx(rect.height)
+                for s in SHAPES[name]
+            )
+
+    def test_unrealisable_target_rejected(self):
+        with pytest.raises(FloorplanError, match="not realisable"):
+            realize_placement(["a", "b", "V"], SHAPES, Shape(1.0, 1.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 999))
+    def test_random_expressions_place_consistently(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        names = [f"m{i}" for i in range(rng.randint(2, 7))]
+        shapes = {
+            name: ShapeList.from_dimensions(
+                [(rng.uniform(1, 20), rng.uniform(1, 20))]
+            )
+            for name in names
+        }
+        expr = PolishExpression.initial(names)
+        root = evaluate_expression(expr, shapes)
+        best = root.min_area_shape()
+        placement = realize_placement(expr, shapes, best)
+        assert set(placement) == set(names)
+        total_module_area = sum(
+            shapes[n].min_area_shape().area for n in names
+        )
+        assert best.area >= total_module_area - 1e-6
+        rects = list(placement.values())
+        for i, r1 in enumerate(rects):
+            for r2 in rects[i + 1:]:
+                assert not r1.overlaps(r2)

@@ -1,0 +1,186 @@
+"""Tests for the full-custom estimator (Eq. 13) and its net model."""
+
+import math
+
+import pytest
+
+from repro.core.aspect import full_custom_dimensions
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import (
+    estimate_full_custom,
+    estimate_full_custom_both,
+    net_interconnection_area,
+)
+from repro.errors import EstimationError
+from repro.netlist.builder import NetlistBuilder
+from repro.workloads.generators import pass_transistor_chain
+
+
+def chain(n, name="chain"):
+    return pass_transistor_chain(name, stages=n)
+
+
+def star_module(components, name="star"):
+    """One net touching `components` pass transistors at the drain."""
+    builder = NetlistBuilder(name).inputs("hub")
+    for index in range(components):
+        builder.transistor(
+            "nmos_pass", f"t{index}", gate=f"g{index}", drain="hub",
+            source=f"s{index}",
+        )
+    return builder.build(validate=False)
+
+
+class TestEquation13:
+    def test_total_is_device_plus_wire(self, transistor_module, nmos):
+        estimate = estimate_full_custom(transistor_module, nmos)
+        assert estimate.area == pytest.approx(
+            estimate.device_area + estimate.wire_area
+        )
+
+    def test_exact_device_area(self, transistor_module, nmos):
+        estimate = estimate_full_custom(transistor_module, nmos)
+        expected = sum(
+            nmos.device_area(d) for d in transistor_module.devices
+        )
+        assert estimate.device_area == pytest.approx(expected)
+
+    def test_average_device_area(self, nmos):
+        # Mixed widths: average mode uses N * W_avg * h_avg.
+        builder = NetlistBuilder("mix").inputs("a")
+        builder.transistor("nmos_enh", "t1", gate="a", drain="x",
+                           source="gnd")
+        builder.transistor("nmos_dep", "t2", gate="x", drain="vdd",
+                           source="x")
+        module = builder.build()
+        exact, average = estimate_full_custom_both(module, nmos)
+        w_avg = (7.0 + 10.0) / 2
+        assert average.device_area == pytest.approx(2 * w_avg * 9.0)
+        assert exact.device_area == pytest.approx(7 * 9 + 10 * 9)
+
+    def test_net_areas_recorded(self, transistor_module, nmos):
+        estimate = estimate_full_custom(transistor_module, nmos)
+        assert estimate.wire_area == pytest.approx(
+            sum(area for _, area in estimate.net_areas)
+        )
+
+    def test_empty_module_rejected(self, nmos):
+        module = NetlistBuilder("e").inputs("a").build(validate=False)
+        with pytest.raises(EstimationError, match="empty"):
+            estimate_full_custom(module, nmos)
+
+    def test_power_nets_excluded(self, transistor_module, nmos):
+        estimate = estimate_full_custom(transistor_module, nmos)
+        names = {name for name, _ in estimate.net_areas}
+        assert "vdd" not in names and "gnd" not in names
+
+
+class TestNetModel:
+    def test_two_component_nets_contribute_nothing(self, nmos):
+        """Table 1's starred footnote."""
+        module = chain(10)
+        estimate = estimate_full_custom(module, nmos)
+        assert estimate.wire_area == 0.0
+
+    def test_literal_mode_charges_two_component_nets(self, nmos):
+        module = chain(10)
+        estimate = estimate_full_custom(
+            module, nmos, EstimatorConfig(net_span_mode="literal")
+        )
+        assert estimate.wire_area > 0.0
+
+    @pytest.mark.parametrize("components,expected_spans", [
+        (2, 0), (3, 1), (4, 1), (5, 2), (6, 2), (7, 3), (9, 4),
+    ])
+    def test_span_counts(self, nmos, components, expected_spans):
+        module = star_module(components)
+        net = module.net("hub")
+        area = net_interconnection_area(net, module, nmos)
+        # All devices are nmos_pass (width 7): pitch is exactly 7.
+        assert area == pytest.approx(
+            nmos.track_pitch * expected_spans * 7.0
+        )
+
+    def test_literal_mode_span(self, nmos):
+        module = star_module(4)
+        net = module.net("hub")
+        area = net_interconnection_area(
+            net, module, nmos, EstimatorConfig(net_span_mode="literal")
+        )
+        assert area == pytest.approx(nmos.track_pitch * 2 * 7.0)
+
+    def test_single_component_net_is_free(self, nmos):
+        module = star_module(3)
+        net = module.net("g0")  # gate net: one device
+        assert net_interconnection_area(net, module, nmos) == 0.0
+
+    def test_exact_mode_uses_net_local_widths(self, nmos):
+        builder = NetlistBuilder("m").inputs("a")
+        # Net "x" touches one enh (7) and two dep (10): mean = 9.
+        builder.transistor("nmos_enh", "t1", gate="a", drain="x",
+                           source="gnd")
+        builder.transistor("nmos_dep", "t2", gate="x", drain="vdd",
+                           source="x")
+        builder.transistor("nmos_dep", "t3", gate="a", drain="x",
+                           source="vdd")
+        module = builder.build()
+        net = module.net("x")
+        area = net_interconnection_area(net, module, nmos)
+        assert area == pytest.approx(nmos.track_pitch * 1 * 9.0)
+
+    def test_average_mode_uses_module_average(self, nmos):
+        builder = NetlistBuilder("m").inputs("a")
+        builder.transistor("nmos_enh", "t1", gate="a", drain="x",
+                           source="gnd")
+        builder.transistor("nmos_dep", "t2", gate="x", drain="vdd",
+                           source="x")
+        builder.transistor("nmos_dep", "t3", gate="a", drain="x",
+                           source="vdd")
+        module = builder.build()
+        net = module.net("x")
+        module_avg = (7.0 + 10.0 + 10.0) / 3
+        area = net_interconnection_area(
+            net, module, nmos,
+            EstimatorConfig(device_area_mode="average"),
+            average_width=module_avg,
+        )
+        assert area == pytest.approx(nmos.track_pitch * 1 * module_avg)
+
+
+class TestBothModes:
+    def test_returns_exact_then_average(self, transistor_module, nmos):
+        exact, average = estimate_full_custom_both(transistor_module, nmos)
+        assert exact.device_area_mode == "exact"
+        assert average.device_area_mode == "average"
+
+    def test_modes_agree_for_uniform_devices(self, nmos):
+        module = chain(8)
+        exact, average = estimate_full_custom_both(module, nmos)
+        assert exact.area == pytest.approx(average.area)
+
+
+class TestDimensions:
+    def test_square_when_ports_fit(self, nmos):
+        width, height = full_custom_dimensions(area=10_000.0,
+                                               port_length=50.0)
+        assert width == height == pytest.approx(100.0)
+
+    def test_stretched_by_ports(self):
+        width, height = full_custom_dimensions(area=10_000.0,
+                                               port_length=200.0)
+        assert width == pytest.approx(200.0)
+        assert height == pytest.approx(50.0)
+        assert width * height == pytest.approx(10_000.0)
+
+    def test_estimate_dimensions_preserve_area(self, transistor_module,
+                                               nmos):
+        estimate = estimate_full_custom(transistor_module, nmos)
+        assert estimate.width * estimate.height == pytest.approx(
+            estimate.area
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(EstimationError):
+            full_custom_dimensions(0.0, 10.0)
+        with pytest.raises(EstimationError):
+            full_custom_dimensions(100.0, -1.0)

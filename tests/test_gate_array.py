@@ -1,0 +1,143 @@
+"""Tests for the gate-array estimator extension."""
+
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.gate_array import (
+    GateArraySpec,
+    compare_methodologies,
+    estimate_gate_array,
+    site_equivalents,
+)
+from repro.errors import EstimationError
+from repro.netlist.builder import NetlistBuilder
+from repro.workloads.generators import counter_module, random_gate_module
+
+
+class TestSpec:
+    def test_row_pitch(self):
+        spec = GateArraySpec(site_height=40.0, channel_tracks=10,
+                             track_pitch=7.0)
+        assert spec.row_pitch == 110.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"site_width": 0.0},
+        {"site_height": -1.0},
+        {"channel_tracks": 0},
+        {"max_rows": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(EstimationError):
+            GateArraySpec(**kwargs)
+
+
+class TestSiteEquivalents:
+    def test_inverter_one_site(self, nmos):
+        module = (
+            NetlistBuilder("m").inputs("a")
+            .gate("INV", "g", a="a", y="y").build()
+        )
+        assert site_equivalents(module, nmos) == 1
+
+    def test_flipflop_costs_more(self, nmos):
+        module = (
+            NetlistBuilder("m").inputs("d", "ck")
+            .gate("DFF", "f", d="d", ck="ck", q="q").build()
+        )
+        assert site_equivalents(module, nmos) == 4
+
+    def test_wide_gates_cost_more(self, nmos):
+        nand2 = (
+            NetlistBuilder("a").inputs("x", "y")
+            .gate("NAND2", "g", a="x", b="y", y="z").build()
+        )
+        nand4 = (
+            NetlistBuilder("b").inputs("x", "y", "w", "v")
+            .gate("NAND4", "g", a="x", b="y", c="w", d="v", y="z").build()
+        )
+        assert site_equivalents(nand4, nmos) > site_equivalents(nand2, nmos)
+
+    def test_transistors_half_site_pairs(self, transistor_module, nmos):
+        assert site_equivalents(transistor_module, nmos) == 5
+
+
+class TestEstimate:
+    def test_geometry_identities(self, small_gate_module, nmos):
+        estimate = estimate_gate_array(small_gate_module, nmos)
+        assert estimate.area == pytest.approx(
+            estimate.width * estimate.height
+        )
+        assert estimate.sites_total == estimate.rows * estimate.columns
+        assert estimate.sites_used <= estimate.sites_total
+        assert 0 < estimate.utilization <= 1.0
+
+    def test_sites_fit(self, small_gate_module, nmos):
+        estimate = estimate_gate_array(small_gate_module, nmos)
+        assert estimate.sites_used == site_equivalents(
+            small_gate_module, nmos
+        )
+
+    def test_demand_within_capacity(self, small_gate_module, nmos):
+        estimate = estimate_gate_array(small_gate_module, nmos)
+        assert (estimate.demand_tracks_per_channel
+                <= estimate.capacity_tracks_per_channel)
+
+    def test_routing_wall_forces_more_rows(self, nmos):
+        """A congested design on a poor array needs more rows (lower
+        utilisation) than on a rich one."""
+        module = random_gate_module("r", gates=60, inputs=6, outputs=4,
+                                    seed=2, locality=0.1)
+        poor = estimate_gate_array(
+            module, nmos, GateArraySpec(channel_tracks=4)
+        )
+        rich = estimate_gate_array(
+            module, nmos, GateArraySpec(channel_tracks=30)
+        )
+        assert poor.rows >= rich.rows
+        assert poor.utilization <= rich.utilization + 1e-9
+
+    def test_impossible_capacity_raises(self, nmos):
+        module = random_gate_module("r", gates=80, inputs=6, outputs=4,
+                                    seed=3, locality=0.0)
+        with pytest.raises(EstimationError, match="channel capacity"):
+            estimate_gate_array(
+                module, nmos,
+                GateArraySpec(channel_tracks=1, max_rows=4),
+            )
+
+    def test_empty_module_rejected(self, nmos):
+        module = NetlistBuilder("e").inputs("a").build(validate=False)
+        with pytest.raises(EstimationError, match="empty"):
+            estimate_gate_array(module, nmos)
+
+    def test_gate_array_bigger_than_standard_cell(self, nmos):
+        """The classic result: prediffused arrays waste area against
+        channelled standard cells for the same netlist."""
+        from repro.core.standard_cell import estimate_standard_cell
+
+        module = counter_module("c", bits=8)
+        ga = estimate_gate_array(module, nmos)
+        sc = estimate_standard_cell(
+            module, nmos, EstimatorConfig(rows=ga.rows,
+                                          track_model="shared")
+        )
+        assert ga.area > sc.area * 0.8  # at least comparable; usually over
+
+
+class TestCompareMethodologies:
+    def test_all_three_for_expandable_cells(self, nmos):
+        module = (
+            NetlistBuilder("m").inputs("a", "b").outputs("y")
+            .gate("NAND2", "g1", a="a", b="b", y="w")
+            .gate("NOR2", "g2", a="w", b="a", y="x")
+            .gate("INV", "g3", a="x", y="y")
+            .build()
+        )
+        areas = compare_methodologies(module, nmos)
+        assert set(areas) == {"standard-cell", "gate-array", "full-custom"}
+        assert all(area > 0 for area in areas.values())
+
+    def test_unexpandable_cells_skip_full_custom(self, nmos):
+        module = counter_module("c", bits=4)  # DFF: no nMOS expansion
+        areas = compare_methodologies(module, nmos)
+        assert set(areas) == {"standard-cell", "gate-array"}

@@ -1,0 +1,137 @@
+"""Tests for layout geometry primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.geometry import (
+    Interval,
+    Point,
+    Rect,
+    bounding_box,
+    half_perimeter,
+    interval_density,
+)
+
+
+class TestPoint:
+    def test_translation(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_manhattan(self):
+        assert Point(0.0, 0.0).manhattan_distance(Point(3.0, 4.0)) == 7.0
+
+
+class TestRect:
+    def test_derived_properties(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.right == 4.0
+        assert rect.top == 6.0
+        assert rect.area == 12.0
+        assert rect.center == Point(2.5, 4.0)
+
+    def test_rejects_negative_dimensions(self):
+        with pytest.raises(LayoutError):
+            Rect(0, 0, -1.0, 1.0)
+
+    def test_overlap_strict_interior(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # shared edge
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_containment(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 3, 3))
+        assert not outer.contains_rect(Rect(8, 8, 5, 5))
+        assert outer.contains_point(Point(10, 10))
+        assert not outer.contains_point(Point(11, 5))
+
+    def test_union(self):
+        union = Rect(0, 0, 2, 2).union(Rect(5, 5, 1, 1))
+        assert union == Rect(0, 0, 6, 6)
+
+    def test_translated(self):
+        assert Rect(1, 1, 2, 2).translated(1, -1) == Rect(2, 0, 2, 2)
+
+
+class TestBoundingBox:
+    def test_of_several(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(3, 4, 2, 1)])
+        assert box == Rect(0, 0, 5, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            bounding_box([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100), st.floats(-100, 100),
+                st.floats(0, 50), st.floats(0, 50),
+            ),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_contains_all(self, raw):
+        rects = [Rect(*r) for r in raw]
+        box = bounding_box(rects)
+        for rect in rects:
+            assert box.contains_rect(rect, tolerance=1e-9)
+
+
+class TestHalfPerimeter:
+    def test_degenerate(self):
+        assert half_perimeter([]) == 0.0
+        assert half_perimeter([Point(3, 4)]) == 0.0
+
+    def test_two_points(self):
+        assert half_perimeter([Point(0, 0), Point(3, 4)]) == 7.0
+
+    def test_interior_points_free(self):
+        base = [Point(0, 0), Point(10, 10)]
+        assert half_perimeter(base + [Point(5, 5)]) == half_perimeter(base)
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(LayoutError):
+            Interval(5.0, 4.0)
+
+    def test_overlap_closed(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))  # touching conflicts
+        assert not Interval(0, 2).overlaps(Interval(3, 4))
+
+    def test_merged(self):
+        assert Interval(0, 2).merged(Interval(1, 5)) == Interval(0, 5)
+
+    def test_length(self):
+        assert Interval(2, 7).length == 5.0
+
+
+class TestIntervalDensity:
+    def test_empty(self):
+        assert interval_density([]) == 0
+
+    def test_disjoint(self):
+        assert interval_density([Interval(0, 1), Interval(3, 4)]) == 1
+
+    def test_nested(self):
+        assert interval_density(
+            [Interval(0, 10), Interval(2, 3), Interval(4, 5)]
+        ) == 2
+
+    def test_touching_count_as_overlap(self):
+        assert interval_density([Interval(0, 2), Interval(2, 4)]) == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_density_at_least_one_and_at_most_count(self, raw):
+        intervals = [Interval(min(a, b), max(a, b)) for a, b in raw]
+        density = interval_density(intervals)
+        assert 1 <= density <= len(intervals)

@@ -1,0 +1,162 @@
+"""Tests for global interconnections: hierarchy extraction, database
+storage, and the floorplanner's wirelength term."""
+
+import pytest
+
+from repro.core.estimator import ModuleAreaEstimator
+from repro.errors import DatabaseError, FloorplanError, NetlistError
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.floorplan.shapes import ShapeList
+from repro.iodb.database import EstimateDatabase
+from repro.layout.annealing import AnnealingSchedule
+from repro.netlist.hierarchy import build_library, inter_module_nets
+from repro.netlist.verilog import parse_verilog_library
+
+FAST = AnnealingSchedule(moves_per_stage=40, stages=10, cooling=0.8)
+
+CHIP = """
+module blockA (x, y);
+  input x; output y;
+  INV g (.a(x), .y(y));
+endmodule
+module blockB (x, y);
+  input x; output y;
+  INV g (.a(x), .y(y));
+endmodule
+module blockC (x, y);
+  input x; output y;
+  INV g (.a(x), .y(y));
+endmodule
+module chip (p, q);
+  input p; output q;
+  blockA a (.x(p), .y(ab));
+  blockB b (.x(ab), .y(bc));
+  blockC c (.x(bc), .y(q));
+endmodule
+"""
+
+
+class TestInterModuleNets:
+    def test_extraction(self):
+        library = build_library(parse_verilog_library(CHIP))
+        nets = dict(inter_module_nets(library, "chip"))
+        assert set(nets) == {"ab", "bc"}
+        assert set(nets["ab"]) == {"a", "b"}
+        assert set(nets["bc"]) == {"b", "c"}
+
+    def test_power_excluded(self):
+        source = """
+        module leaf (a); input a;
+          nmos_enh t (.g(a), .d(a), .s(gnd));
+        endmodule
+        module top (p); input p;
+          leaf u1 (.a(p));
+          leaf u2 (.a(p));
+        endmodule
+        """
+        library = build_library(parse_verilog_library(source))
+        nets = dict(inter_module_nets(library, "top"))
+        assert "gnd" not in nets
+        assert set(nets["p"]) == {"u1", "u2"}
+
+    def test_unknown_top(self):
+        library = build_library(parse_verilog_library(CHIP))
+        with pytest.raises(NetlistError, match="not found"):
+            inter_module_nets(library, "ghost")
+
+
+class TestDatabaseGlobalNets:
+    def _db(self, nmos, modules):
+        estimator = ModuleAreaEstimator(nmos)
+        db = EstimateDatabase(nmos.name)
+        for module in modules:
+            db.add(estimator.estimate(module))
+        return db
+
+    def test_round_trip(self, nmos, half_adder, small_gate_module,
+                        tmp_path):
+        db = self._db(nmos, [half_adder, small_gate_module])
+        db.set_global_nets([("half_adder", "small")])
+        loaded = EstimateDatabase.load(db.save(tmp_path / "db.json"))
+        assert loaded.global_nets == [("half_adder", "small")]
+
+    def test_unknown_module_rejected(self, nmos, half_adder):
+        db = self._db(nmos, [half_adder])
+        with pytest.raises(DatabaseError, match="without estimates"):
+            db.set_global_nets([("half_adder", "ghost")])
+
+    def test_single_member_nets_dropped(self, nmos, half_adder):
+        db = self._db(nmos, [half_adder])
+        db.set_global_nets([("half_adder",)])
+        assert db.global_nets == []
+
+
+class TestWirelengthAwareFloorplan:
+    def _modules(self, count=4):
+        return [
+            FloorplanModule(f"m{i}", ShapeList.from_dimensions([(10, 10)]))
+            for i in range(count)
+        ]
+
+    def test_wirelength_recorded(self):
+        plan = floorplan(
+            self._modules(),
+            schedule=FAST,
+            global_nets=[("m0", "m1"), ("m2", "m3")],
+            wirelength_weight=1.0,
+        )
+        assert plan.global_wirelength > 0.0
+
+    def test_no_nets_zero_wirelength(self):
+        plan = floorplan(self._modules(), schedule=FAST)
+        assert plan.global_wirelength == 0.0
+
+    def test_connected_modules_pulled_together(self):
+        """With a strong wirelength weight, a connected pair ends up
+        closer than under pure area optimisation would *guarantee*."""
+        nets = [("m0", "m3")]
+        plan = floorplan(
+            self._modules(4),
+            seed=5,
+            schedule=FAST,
+            global_nets=nets,
+            wirelength_weight=50.0,
+        )
+        a = plan.slot("m0").center
+        b = plan.slot("m3").center
+        distance = abs(a.x - b.x) + abs(a.y - b.y)
+        # Equal 10x10 squares in a 2x2 arrangement: adjacent centres
+        # are 10 apart, diagonal 20.  The weighted plan must achieve
+        # adjacency.
+        assert distance <= 10.0 + 1e-6
+        # And dead space stays zero (four equal squares tile exactly).
+        assert plan.dead_space_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_module_in_net_rejected(self):
+        with pytest.raises(FloorplanError, match="unknown modules"):
+            floorplan(
+                self._modules(2),
+                schedule=FAST,
+                global_nets=[("m0", "zzz")],
+                wirelength_weight=1.0,
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(FloorplanError, match="wirelength_weight"):
+            floorplan(self._modules(2), wirelength_weight=-1.0)
+
+    def test_database_to_floorplan_path(self, nmos, half_adder,
+                                        small_gate_module):
+        """The full Fig. 1 story: estimates + global nets -> plan."""
+        estimator = ModuleAreaEstimator(nmos)
+        db = EstimateDatabase(nmos.name)
+        for module in (half_adder, small_gate_module):
+            db.add(estimator.estimate(module))
+        db.set_global_nets([("half_adder", "small")])
+        plan = floorplan(
+            [FloorplanModule.from_estimate(r) for r in db],
+            schedule=FAST,
+            global_nets=db.global_nets,
+            wirelength_weight=0.5,
+        )
+        assert plan.global_wirelength > 0

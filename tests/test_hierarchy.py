@@ -1,0 +1,224 @@
+"""Tests for hierarchy linking and flattening."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.hierarchy import (
+    build_library,
+    flatten,
+    flatten_source,
+    hierarchy_depth,
+)
+from repro.netlist.verilog import parse_verilog_library
+
+HIER_SOURCE = """
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  XOR2 x1 (.a(a), .b(b), .y(s));
+  AND2 a1 (.a(a), .b(b), .y(c));
+endmodule
+
+module full_adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  half_adder ha1 (.a(a), .b(b), .s(p), .c(g1));
+  half_adder ha2 (.a(p), .b(cin), .s(sum), .c(g2));
+  OR2 o1 (.a(g1), .b(g2), .y(cout));
+endmodule
+
+module adder2 (a0, a1, b0, b1, cin, s0, s1, cout);
+  input a0, a1, b0, b1, cin;
+  output s0, s1, cout;
+  full_adder fa0 (.a(a0), .b(b0), .cin(cin), .sum(s0), .cout(c0));
+  full_adder fa1 (.a(a1), .b(b1), .cin(c0), .sum(s1), .cout(cout));
+endmodule
+"""
+
+
+@pytest.fixture
+def library():
+    return build_library(parse_verilog_library(HIER_SOURCE))
+
+
+class TestBuildLibrary:
+    def test_indexes_by_name(self, library):
+        assert set(library) == {"half_adder", "full_adder", "adder2"}
+
+    def test_duplicate_rejected(self, half_adder):
+        with pytest.raises(NetlistError, match="duplicate"):
+            build_library([half_adder, half_adder])
+
+
+class TestDepth:
+    def test_depths(self, library):
+        assert hierarchy_depth(library, "half_adder") == 1
+        assert hierarchy_depth(library, "full_adder") == 2
+        assert hierarchy_depth(library, "adder2") == 3
+
+
+class TestFlatten:
+    def test_leaf_module_unchanged_structure(self, library):
+        flat = flatten(library, "half_adder")
+        assert flat.device_count == 2
+        assert flat.cell_usage() == {"XOR2": 1, "AND2": 1}
+
+    def test_full_adder_counts(self, library):
+        flat = flatten(library, "full_adder")
+        # 2 half adders (2 gates each) + OR2.
+        assert flat.device_count == 5
+        assert flat.cell_usage() == {"XOR2": 2, "AND2": 2, "OR2": 1}
+
+    def test_adder2_counts(self, library):
+        flat = flatten(library, "adder2")
+        assert flat.device_count == 10
+        assert flat.port_count == 8
+
+    def test_instance_paths_in_names(self, library):
+        flat = flatten(library, "adder2")
+        assert flat.has_device("fa0/ha1/x1")
+        assert flat.has_device("fa1/o1")
+
+    def test_port_binding_connects_across_levels(self, library):
+        flat = flatten(library, "full_adder")
+        # ha1's sum ("p") feeds ha2's input "a": one net, two gates of
+        # ha1 drive/read it plus two gates of ha2.
+        net = flat.net("p")
+        devices = set(net.devices())
+        assert "ha1/x1" in devices
+        assert "ha2/x1" in devices and "ha2/a1" in devices
+
+    def test_internal_nets_prefixed(self, library):
+        flat = flatten(library, "adder2")
+        # full_adder's internal net "g1" inside fa0.
+        assert flat.has_net("fa0/g1")
+        assert not flat.has_net("g1")
+
+    def test_top_ports_preserved(self, library):
+        flat = flatten(library, "adder2")
+        assert {p.name for p in flat.ports} == {
+            "a0", "a1", "b0", "b1", "cin", "s0", "s1", "cout"
+        }
+
+    def test_custom_separator(self, library):
+        flat = flatten(library, "full_adder", separator=".")
+        assert flat.has_device("ha1.x1")
+
+    def test_unknown_top(self, library):
+        with pytest.raises(NetlistError, match="not found"):
+            flatten(library, "nope")
+
+    def test_flat_module_estimable(self, library, nmos):
+        from repro.core.standard_cell import estimate_standard_cell
+
+        flat = flatten(library, "adder2")
+        estimate = estimate_standard_cell(flat, nmos)
+        assert estimate.area > 0
+
+    def test_power_nets_stay_global(self):
+        source = """
+        module leafcell (a, y);
+          input a; output y;
+          nmos_enh t1 (.g(a), .d(y), .s(gnd));
+          nmos_dep t2 (.g(y), .d(vdd), .s(y));
+        endmodule
+        module pair (a, y);
+          input a; output y;
+          leafcell u1 (.a(a), .y(m));
+          leafcell u2 (.a(m), .y(y));
+        endmodule
+        """
+        flat = flatten_source(parse_verilog_library(source))
+        assert flat.has_net("gnd")
+        assert flat.has_net("vdd")
+        assert not flat.has_net("u1/gnd")
+        assert flat.net("gnd").component_count == 2
+
+
+class TestFlattenSource:
+    def test_infers_top(self, library):
+        flat = flatten_source(list(library.values()))
+        assert flat.name == "adder2"
+
+    def test_ambiguous_top_rejected(self, half_adder):
+        other = (
+            NetlistBuilder("other")
+            .inputs("x")
+            .gate("INV", "g", a="x", y="y")
+            .build()
+        )
+        with pytest.raises(NetlistError, match="cannot infer"):
+            flatten_source([half_adder, other])
+
+
+class TestErrors:
+    def test_recursion_detected(self):
+        source = """
+        module a (x); input x; b u (.x(x)); endmodule
+        module b (x); input x; a u (.x(x)); endmodule
+        """
+        modules = parse_verilog_library(source)
+        library = build_library(modules)
+        with pytest.raises(NetlistError, match="recursive"):
+            flatten(library, "a")
+
+    def test_unconnected_port_rejected(self):
+        source = """
+        module leaf (a, b, y);
+          input a, b; output y;
+          NAND2 g (.a(a), .b(b), .y(y));
+        endmodule
+        module top (x, z);
+          input x; output z;
+          leaf u1 (.a(x), .y(z));
+        endmodule
+        """
+        library = build_library(parse_verilog_library(source))
+        with pytest.raises(NetlistError, match="unconnected"):
+            flatten(library, "top")
+
+    def test_unknown_pin_rejected(self):
+        source = """
+        module leaf (a, y);
+          input a; output y;
+          INV g (.a(a), .y(y));
+        endmodule
+        module top (x, z);
+          input x; output z;
+          leaf u1 (.a(x), .nope(z), .y(z));
+        endmodule
+        """
+        library = build_library(parse_verilog_library(source))
+        with pytest.raises(NetlistError, match="does not match a port"):
+            flatten(library, "top")
+
+    def test_positional_binding(self):
+        source = """
+        module leaf (a, y);
+          input a; output y;
+          INV g (.a(a), .y(y));
+        endmodule
+        module top (x, z);
+          input x; output z;
+          leaf u1 (x, z);
+        endmodule
+        """
+        library = build_library(parse_verilog_library(source))
+        flat = flatten(library, "top")
+        assert flat.device("u1/g").pins == {"a": "x", "y": "z"}
+
+    def test_positional_out_of_range(self):
+        source = """
+        module leaf (a, y);
+          input a; output y;
+          INV g (.a(a), .y(y));
+        endmodule
+        module top (x, z);
+          input x; output z;
+          leaf u1 (x, z, x);
+        endmodule
+        """
+        library = build_library(parse_verilog_library(source))
+        with pytest.raises(NetlistError, match="exceeds"):
+            flatten(library, "top")

@@ -1,0 +1,93 @@
+"""Cross-module integration tests: the full Fig. 1 + floorplanning flow."""
+
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import ModuleAreaEstimator
+from repro.core.standard_cell import estimate_standard_cell
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.iodb.database import EstimateDatabase
+from repro.layout.annealing import AnnealingSchedule
+from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.netlist.writers import write_verilog
+from repro.workloads.generators import counter_module, decoder_module
+
+FAST = AnnealingSchedule(moves_per_stage=25, stages=5, cooling=0.8)
+
+
+class TestSchematicToFloorplan:
+    """Parse -> estimate -> database -> floorplan, end to end."""
+
+    def test_full_chain(self, tmp_path, nmos):
+        modules = [
+            counter_module("counter", bits=4),
+            decoder_module("decoder", address_bits=2),
+        ]
+        # Write schematics to disk and reload through the input
+        # interface, as Fig. 1 shows.
+        estimator = ModuleAreaEstimator(nmos)
+        parsed = []
+        for module in modules:
+            path = tmp_path / f"{module.name}.v"
+            path.write_text(write_verilog(module))
+            parsed.append(estimator.load_schematic(path))
+
+        database = EstimateDatabase(nmos.name)
+        for record in estimator.estimate_all(parsed):
+            database.add(record)
+        db_path = database.save(tmp_path / "estimates.json")
+
+        # The floor planner consumes the database file.
+        loaded = EstimateDatabase.load(db_path)
+        plan = floorplan(
+            [FloorplanModule.from_estimate(r) for r in loaded],
+            schedule=FAST,
+        )
+        assert set(plan.placements) == {"counter", "decoder"}
+        assert plan.area >= sum(
+            min(r.standard_cell.area, r.full_custom.area) for r in loaded
+        ) - 1e-6
+
+    def test_floorplan_module_requires_some_estimate(self, nmos,
+                                                     half_adder):
+        record = ModuleAreaEstimator(nmos).estimate(half_adder)
+        object.__setattr__(record, "standard_cell", None)
+        object.__setattr__(record, "full_custom", None)
+        from repro.errors import FloorplanError
+
+        with pytest.raises(FloorplanError):
+            FloorplanModule.from_estimate(record)
+
+
+class TestEstimateVsLayoutConsistency:
+    """The paper's qualitative claims, on a fresh module."""
+
+    def test_sc_estimate_upper_bounds_oracle(self, nmos):
+        module = counter_module("c8", bits=8)
+        estimate = estimate_standard_cell(module, nmos,
+                                          EstimatorConfig(rows=3))
+        layout = layout_standard_cell(module, nmos, rows=3, seed=0,
+                                      schedule=FAST)
+        assert estimate.area > layout.area
+        assert estimate.tracks > layout.tracks
+
+    def test_cross_technology_scaling(self, nmos, cmos):
+        """The same netlist estimated under CMOS uses that process's
+        geometry: different lambda area, same structure."""
+        module = counter_module("c4", bits=4)
+        sc_nmos = estimate_standard_cell(module, nmos,
+                                         EstimatorConfig(rows=2))
+        sc_cmos = estimate_standard_cell(module, cmos,
+                                         EstimatorConfig(rows=2))
+        assert sc_nmos.tracks == sc_cmos.tracks  # structure-driven
+        assert sc_nmos.area != sc_cmos.area      # geometry-driven
+
+    def test_estimator_choice_feeds_floorplanner(self, nmos):
+        """best_methodology() is consistent with the shapes offered to
+        the floorplanner."""
+        module = counter_module("c4", bits=4)
+        record = ModuleAreaEstimator(nmos).estimate(module)
+        fp_module = FloorplanModule.from_estimate(record)
+        smallest = fp_module.shapes.min_area_shape().area
+        best = min(record.standard_cell.area, record.full_custom.area)
+        assert smallest == pytest.approx(best)

@@ -1,0 +1,145 @@
+"""Tests for the estimate interchange database."""
+
+import pytest
+
+from repro.core.estimator import ModuleAreaEstimator
+from repro.errors import DatabaseError
+from repro.iodb.database import EstimateDatabase
+
+
+@pytest.fixture
+def record(small_gate_module, nmos):
+    return ModuleAreaEstimator(nmos).estimate(small_gate_module)
+
+
+@pytest.fixture
+def record2(half_adder, nmos):
+    return ModuleAreaEstimator(nmos).estimate(half_adder)
+
+
+class TestCollection:
+    def test_add_and_get(self, record):
+        db = EstimateDatabase()
+        db.add(record)
+        assert db.get(record.module_name) is record
+        assert record.module_name in db
+        assert len(db) == 1
+
+    def test_process_name_adopted(self, record, nmos):
+        db = EstimateDatabase()
+        db.add(record)
+        assert db.process_name == nmos.name
+
+    def test_duplicate_rejected(self, record):
+        db = EstimateDatabase()
+        db.add(record)
+        with pytest.raises(DatabaseError, match="already"):
+            db.add(record)
+
+    def test_replace_allowed(self, record):
+        db = EstimateDatabase()
+        db.add(record)
+        db.add(record, replace=True)
+        assert len(db) == 1
+
+    def test_mismatched_process_rejected(self, record, cmos,
+                                         small_gate_module):
+        db = EstimateDatabase(cmos.name)
+        with pytest.raises(DatabaseError, match="process"):
+            db.add(record)
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(DatabaseError, match="no estimate"):
+            EstimateDatabase().get("ghost")
+
+    def test_iteration_order(self, record, record2):
+        db = EstimateDatabase()
+        db.add(record)
+        db.add(record2)
+        assert [r.module_name for r in db] == [
+            record.module_name, record2.module_name
+        ]
+        assert db.module_names == [record.module_name, record2.module_name]
+
+
+class TestAggregation:
+    def test_total_area_standard_cell(self, record, record2):
+        db = EstimateDatabase()
+        db.add(record)
+        db.add(record2)
+        expected = record.standard_cell.area + record2.standard_cell.area
+        assert db.total_estimated_area("standard-cell") == pytest.approx(
+            expected
+        )
+
+    def test_total_area_full_custom(self, record):
+        db = EstimateDatabase()
+        db.add(record)
+        assert db.total_estimated_area("full-custom") == pytest.approx(
+            record.full_custom.area
+        )
+
+    def test_unknown_methodology(self, record):
+        db = EstimateDatabase()
+        db.add(record)
+        with pytest.raises(DatabaseError, match="unknown methodology"):
+            db.total_estimated_area("gate-array")
+
+    def test_missing_estimate_detected(self, small_gate_module, nmos):
+        record = ModuleAreaEstimator(nmos).estimate(
+            small_gate_module, ("standard-cell",)
+        )
+        db = EstimateDatabase()
+        db.add(record)
+        with pytest.raises(DatabaseError, match="full-custom"):
+            db.total_estimated_area("full-custom")
+
+
+class TestPersistence:
+    def test_round_trip_preserves_everything(self, record, record2,
+                                             tmp_path):
+        db = EstimateDatabase()
+        db.add(record)
+        db.add(record2)
+        path = db.save(tmp_path / "estimates.json")
+        loaded = EstimateDatabase.load(path)
+        assert loaded.to_dict() == db.to_dict()
+
+    def test_loaded_values_match(self, record, tmp_path):
+        db = EstimateDatabase()
+        db.add(record)
+        loaded = EstimateDatabase.load(db.save(tmp_path / "e.json"))
+        copy = loaded.get(record.module_name)
+        assert copy.standard_cell.area == record.standard_cell.area
+        assert copy.full_custom.area == record.full_custom.area
+        assert copy.statistics == record.statistics
+
+    def test_partial_record_round_trip(self, small_gate_module, nmos,
+                                       tmp_path):
+        record = ModuleAreaEstimator(nmos).estimate(
+            small_gate_module, ("full-custom",)
+        )
+        db = EstimateDatabase()
+        db.add(record)
+        loaded = EstimateDatabase.load(db.save(tmp_path / "e.json"))
+        copy = loaded.get(record.module_name)
+        assert copy.standard_cell is None
+        assert copy.full_custom is not None
+
+    def test_bad_version_rejected(self, record):
+        data = EstimateDatabase().to_dict()
+        data["format_version"] = 42
+        with pytest.raises(DatabaseError, match="version"):
+            EstimateDatabase.from_dict(data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatabaseError, match="cannot read"):
+            EstimateDatabase.load(tmp_path / "nope.json")
+
+    def test_corrupt_record_rejected(self, record):
+        db = EstimateDatabase()
+        db.add(record)
+        data = db.to_dict()
+        del data["modules"][0]["statistics"]["device_count"]
+        with pytest.raises(DatabaseError, match="malformed"):
+            EstimateDatabase.from_dict(data)

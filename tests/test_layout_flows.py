@@ -1,0 +1,162 @@
+"""Tests for the end-to-end layout flows (the Table 1/2 oracles)."""
+
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import estimate_full_custom
+from repro.core.standard_cell import estimate_standard_cell
+from repro.errors import LayoutError
+from repro.layout.full_custom_flow import layout_full_custom
+from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.netlist.builder import NetlistBuilder
+from repro.workloads.generators import pass_transistor_chain
+
+
+class TestStandardCellFlow:
+    def test_area_decomposition(self, small_gate_module, nmos,
+                                fast_schedule):
+        layout = layout_standard_cell(small_gate_module, nmos, rows=3,
+                                      schedule=fast_schedule)
+        assert layout.area == pytest.approx(layout.width * layout.height)
+        assert layout.height == pytest.approx(
+            3 * nmos.row_height + layout.tracks * nmos.track_pitch
+        )
+
+    def test_tracks_cover_density(self, small_gate_module, nmos,
+                                  fast_schedule):
+        layout = layout_standard_cell(small_gate_module, nmos, rows=3,
+                                      schedule=fast_schedule)
+        assert layout.tracks >= layout.total_density
+        assert layout.tracks == sum(layout.channel_tracks.values())
+
+    def test_unconstrained_tracks_equal_density(self, small_gate_module,
+                                                nmos, fast_schedule):
+        layout = layout_standard_cell(
+            small_gate_module, nmos, rows=3, schedule=fast_schedule,
+            constrained_routing=False,
+        )
+        assert layout.tracks == layout.total_density
+
+    def test_feedthroughs_counted(self, small_gate_module, nmos,
+                                  fast_schedule):
+        layout = layout_standard_cell(small_gate_module, nmos, rows=4,
+                                      schedule=fast_schedule)
+        assert layout.feedthroughs == sum(
+            layout.feedthroughs_by_row.values()
+        )
+
+    def test_keep_placement(self, small_gate_module, nmos, fast_schedule):
+        layout = layout_standard_cell(small_gate_module, nmos, rows=2,
+                                      schedule=fast_schedule,
+                                      keep_placement=True)
+        assert layout.placement is not None
+        assert layout.placement.validate()
+
+    def test_placement_dropped_by_default(self, small_gate_module, nmos,
+                                          fast_schedule):
+        layout = layout_standard_cell(small_gate_module, nmos, rows=2,
+                                      schedule=fast_schedule)
+        assert layout.placement is None
+
+    def test_estimator_upper_bounds_layout(self, small_gate_module, nmos,
+                                           fast_schedule):
+        """The paper's headline Table 2 result: the estimate is an
+        upper bound on the real area."""
+        layout = layout_standard_cell(small_gate_module, nmos, rows=3,
+                                      schedule=fast_schedule)
+        estimate = estimate_standard_cell(
+            small_gate_module, nmos, EstimatorConfig(rows=3)
+        )
+        assert estimate.tracks >= layout.tracks
+        assert estimate.area >= layout.area
+
+    def test_deterministic_per_seed(self, small_gate_module, nmos,
+                                    fast_schedule):
+        a = layout_standard_cell(small_gate_module, nmos, rows=3, seed=9,
+                                 schedule=fast_schedule)
+        b = layout_standard_cell(small_gate_module, nmos, rows=3, seed=9,
+                                 schedule=fast_schedule)
+        assert a.area == b.area
+        assert a.tracks == b.tracks
+
+    def test_zero_rows_rejected(self, small_gate_module, nmos):
+        with pytest.raises(LayoutError):
+            layout_standard_cell(small_gate_module, nmos, rows=0)
+
+    def test_route_ports_increases_or_keeps_density(self, small_gate_module,
+                                                    nmos, fast_schedule):
+        with_ports = layout_standard_cell(
+            small_gate_module, nmos, rows=2, schedule=fast_schedule,
+            route_ports=True,
+        )
+        without = layout_standard_cell(
+            small_gate_module, nmos, rows=2, schedule=fast_schedule,
+            route_ports=False,
+        )
+        assert with_ports.tracks >= without.tracks
+
+
+class TestFullCustomFlow:
+    def test_no_device_overlap(self, transistor_module, nmos):
+        layout = layout_full_custom(transistor_module, nmos,
+                                    anneal_ordering=False)
+        assert layout.validate() is layout
+
+    def test_all_devices_placed(self, transistor_module, nmos):
+        layout = layout_full_custom(transistor_module, nmos,
+                                    anneal_ordering=False)
+        assert set(layout.device_rects) == {
+            d.name for d in transistor_module.devices
+        }
+
+    def test_area_decomposition(self, transistor_module, nmos):
+        layout = layout_full_custom(transistor_module, nmos,
+                                    anneal_ordering=False)
+        assert layout.area == pytest.approx(
+            layout.packed_area + layout.wire_area
+        )
+        assert layout.width * layout.height == pytest.approx(layout.area)
+
+    def test_packing_efficiency_bounded(self, transistor_module, nmos):
+        layout = layout_full_custom(transistor_module, nmos,
+                                    anneal_ordering=False)
+        assert 0.0 < layout.packing_efficiency <= 1.0
+
+    def test_wire_fraction_reduces_area(self, transistor_module, nmos):
+        dense = layout_full_custom(transistor_module, nmos,
+                                   anneal_ordering=False,
+                                   wire_over_active_fraction=0.9)
+        sparse = layout_full_custom(transistor_module, nmos,
+                                    anneal_ordering=False,
+                                    wire_over_active_fraction=0.0)
+        assert dense.area <= sparse.area
+
+    def test_bad_wire_fraction_rejected(self, transistor_module, nmos):
+        with pytest.raises(LayoutError):
+            layout_full_custom(transistor_module, nmos,
+                               wire_over_active_fraction=1.0)
+
+    def test_empty_module_rejected(self, nmos):
+        module = NetlistBuilder("e").inputs("a").build(validate=False)
+        with pytest.raises(LayoutError):
+            layout_full_custom(module, nmos)
+
+    def test_deterministic_per_seed(self, transistor_module, nmos):
+        a = layout_full_custom(transistor_module, nmos, seed=4)
+        b = layout_full_custom(transistor_module, nmos, seed=4)
+        assert a.area == b.area
+
+    def test_annealing_does_not_hurt_wirelength(self, nmos):
+        module = pass_transistor_chain("c", stages=12)
+        cold = layout_full_custom(module, nmos, anneal_ordering=False)
+        hot = layout_full_custom(module, nmos, seed=3)
+        assert hot.wirelength <= cold.wirelength + 1e-9
+
+    def test_estimate_is_lower_bound_spirit(self, nmos):
+        """Section 4.2: 'this minimum area estimation method provides a
+        lower bound' -- the estimate should not exceed the oracle by
+        much (packing and wiring overheads are real)."""
+        module = pass_transistor_chain("c", stages=12)
+        estimate = estimate_full_custom(module, nmos)
+        layout = layout_full_custom(module, nmos, seed=1)
+        assert estimate.area <= layout.area * 1.05

@@ -1,0 +1,105 @@
+"""Tests for the fluent netlist builder."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.model import Device, PortDirection
+
+
+class TestPorts:
+    def test_inputs_outputs_inouts(self):
+        module = (
+            NetlistBuilder("m")
+            .inputs("a", "b")
+            .outputs("y")
+            .inouts("io")
+            .gate("NAND2", "g", a="a", b="b", y="y")
+            .build()
+        )
+        directions = {p.name: p.direction for p in module.ports}
+        assert directions == {
+            "a": PortDirection.INPUT,
+            "b": PortDirection.INPUT,
+            "y": PortDirection.OUTPUT,
+            "io": PortDirection.INOUT,
+        }
+
+    def test_port_with_width(self):
+        module = (
+            NetlistBuilder("m")
+            .port("a", PortDirection.INPUT, width_lambda=16.0)
+            .gate("INV", "g", a="a", y="a")
+            .build(validate=False)
+        )
+        assert module.port("a").width_lambda == 16.0
+
+
+class TestGates:
+    def test_gate_requires_pins(self):
+        builder = NetlistBuilder("m")
+        with pytest.raises(NetlistError):
+            builder.gate("INV")
+
+    def test_auto_names_are_unique(self):
+        builder = NetlistBuilder("m").inputs("a")
+        builder.gate("INV", a="a", y="n1").gate("INV", a="n1", y="n2")
+        module = builder.build(validate=False)
+        names = [d.name for d in module.devices]
+        assert len(set(names)) == 2
+
+    def test_explicit_device(self):
+        module = (
+            NetlistBuilder("m")
+            .inputs("a")
+            .device(Device("u9", "INV", {"a": "a", "y": "y"}))
+            .build(validate=False)
+        )
+        assert module.has_device("u9")
+
+
+class TestTransistors:
+    def test_terminals(self):
+        module = (
+            NetlistBuilder("m")
+            .inputs("g")
+            .transistor("nmos_enh", "t1", gate="g", drain="d", source="s")
+            .build(validate=False)
+        )
+        assert module.device("t1").pins == {"g": "g", "d": "d", "s": "s"}
+
+    def test_sizing_overrides(self):
+        module = (
+            NetlistBuilder("m")
+            .inputs("g")
+            .transistor("nmos_enh", "t1", gate="g", drain="d",
+                        width_lambda=14.0, height_lambda=9.0)
+            .build(validate=False)
+        )
+        device = module.device("t1")
+        assert device.width_lambda == 14.0
+        assert device.height_lambda == 9.0
+
+    def test_requires_a_terminal(self):
+        builder = NetlistBuilder("m")
+        with pytest.raises(NetlistError):
+            builder.transistor("nmos_enh", "t1")
+
+
+class TestLifecycle:
+    def test_build_validates_by_default(self, half_adder):
+        # half_adder fixture already built with validation; rebuild a
+        # broken module and check it raises.
+        builder = NetlistBuilder("broken")
+        builder.gate("INV", "g", a="floating", y="out")
+        module = builder.build()  # nets are auto-created, so this is valid
+        assert module.has_net("floating")
+
+    def test_builder_single_use(self):
+        builder = NetlistBuilder("m").inputs("a")
+        builder.gate("INV", a="a", y="y")
+        builder.build()
+        with pytest.raises(NetlistError):
+            builder.build()
+        with pytest.raises(NetlistError):
+            builder.inputs("b")

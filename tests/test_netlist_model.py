@@ -1,0 +1,157 @@
+"""Tests for the netlist data model."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.model import Device, Module, Net, Port, PortDirection
+
+
+class TestPort:
+    def test_defaults(self):
+        port = Port("a")
+        assert port.direction is PortDirection.INPUT
+        assert port.width_lambda == 0.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(NetlistError):
+            Port("")
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(NetlistError):
+            Port("a", width_lambda=-1.0)
+
+
+class TestDevice:
+    def test_nets_property(self):
+        device = Device("u1", "NAND2", {"a": "n1", "b": "n2", "y": "n3"})
+        assert device.nets == ("n1", "n2", "n3")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(NetlistError):
+            Device("", "NAND2")
+
+    def test_rejects_empty_cell(self):
+        with pytest.raises(NetlistError):
+            Device("u1", "")
+
+    @pytest.mark.parametrize("field", ["width_lambda", "height_lambda"])
+    def test_rejects_nonpositive_dimensions(self, field):
+        with pytest.raises(NetlistError):
+            Device("u1", "NAND2", **{field: 0.0})
+
+
+class TestNet:
+    def test_component_count_distinct_devices(self):
+        net = Net("n1")
+        from repro.netlist.model import PinConnection
+
+        net.connections = [
+            PinConnection("u1", "a"),
+            PinConnection("u1", "b"),
+            PinConnection("u2", "a"),
+        ]
+        assert net.component_count == 2
+        assert net.pin_count == 3
+
+    def test_is_external(self):
+        net = Net("n1")
+        assert not net.is_external
+        net.ports.append("p")
+        assert net.is_external
+
+    def test_devices_ordered_dedup(self):
+        from repro.netlist.model import PinConnection
+
+        net = Net("n1")
+        net.connections = [
+            PinConnection("b", "x"),
+            PinConnection("a", "x"),
+            PinConnection("b", "y"),
+        ]
+        assert net.devices() == ("b", "a")
+
+
+class TestModule:
+    def test_add_port_creates_net(self):
+        module = Module("m")
+        module.add_port(Port("a"))
+        assert module.has_net("a")
+        assert module.net("a").ports == ["a"]
+
+    def test_port_with_explicit_net(self):
+        module = Module("m")
+        module.add_port(Port("a", net="wire1"))
+        assert module.port("a").net == "wire1"
+        assert module.has_net("wire1")
+
+    def test_duplicate_port_rejected(self):
+        module = Module("m")
+        module.add_port(Port("a"))
+        with pytest.raises(NetlistError):
+            module.add_port(Port("a"))
+
+    def test_add_device_registers_connections(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1", "y": "n2"}))
+        assert module.net("n1").component_count == 1
+        assert module.net("n2").component_count == 1
+
+    def test_duplicate_device_rejected(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1"}))
+        with pytest.raises(NetlistError):
+            module.add_device(Device("u1", "INV", {"a": "n2"}))
+
+    def test_connect_extends_device(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1"}))
+        module.connect("u1", "y", "n2")
+        assert module.device("u1").pins["y"] == "n2"
+        assert module.net("n2").component_count == 1
+
+    def test_connect_unknown_device_rejected(self):
+        module = Module("m")
+        with pytest.raises(NetlistError):
+            module.connect("nope", "a", "n1")
+
+    def test_connect_duplicate_pin_rejected(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1"}))
+        with pytest.raises(NetlistError):
+            module.connect("u1", "a", "n2")
+
+    def test_counts(self, half_adder):
+        assert half_adder.device_count == 2
+        assert half_adder.port_count == 4
+        assert half_adder.net_count == 4  # a, b, s, c
+
+    def test_unknown_lookups_raise(self):
+        module = Module("m")
+        with pytest.raises(NetlistError):
+            module.port("x")
+        with pytest.raises(NetlistError):
+            module.device("x")
+        with pytest.raises(NetlistError):
+            module.net("x")
+
+    def test_iter_signal_nets_skips_power(self):
+        module = Module("m")
+        module.add_device(
+            Device("u1", "nmos_enh", {"g": "a", "d": "y", "s": "GND"})
+        )
+        module.add_device(
+            Device("u2", "nmos_dep", {"g": "y", "d": "VDD", "s": "y"})
+        )
+        names = {net.name for net in module.iter_signal_nets()}
+        assert names == {"a", "y"}
+
+    def test_cell_usage(self, half_adder):
+        assert half_adder.cell_usage() == {"XOR2": 1, "AND2": 1}
+
+    def test_repr_mentions_counts(self, half_adder):
+        text = repr(half_adder)
+        assert "half_adder" in text and "devices=2" in text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Module("")

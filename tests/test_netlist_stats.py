@@ -1,0 +1,160 @@
+"""Tests for the schematic scan (estimator inputs)."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.stats import ModuleStatistics, net_size_counts, scan_module
+
+
+class TestScan:
+    def test_basic_counts(self, half_adder, nmos):
+        stats = scan_module(
+            half_adder,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        assert stats.device_count == 2
+        # Nets a and b touch both gates (D=2); s and c touch one each.
+        assert stats.net_count == 4
+        assert dict(stats.net_size_histogram) == {1: 2, 2: 2}
+        assert stats.max_net_size == 2
+
+    def test_average_width_eq1(self, nmos):
+        """Eq. 1: W_avg = sum(X_i * W_i) / N."""
+        module = (
+            NetlistBuilder("m")
+            .inputs("a")
+            .gate("INV", "g1", a="a", y="n1")     # width 8
+            .gate("INV", "g2", a="n1", y="n2")    # width 8
+            .gate("XOR2", "g3", a="n2", b="a", y="n3")  # width 24
+            .build()
+        )
+        stats = scan_module(
+            module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        assert stats.average_width == pytest.approx((8 + 8 + 24) / 3)
+        assert dict(stats.width_histogram) == {8.0: 2, 24.0: 1}
+        assert stats.distinct_width_count == 2
+
+    def test_total_device_area(self, nmos):
+        module = (
+            NetlistBuilder("m")
+            .inputs("a")
+            .gate("INV", "g1", a="a", y="n1")
+            .build()
+        )
+        stats = scan_module(
+            module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        assert stats.total_device_area == pytest.approx(8.0 * 40.0)
+
+    def test_power_nets_excluded(self, transistor_module, nmos):
+        stats = scan_module(
+            transistor_module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        sizes = dict(stats.net_size_histogram)
+        # vdd/gnd excluded; nets: a (1), b (1), w (t1..t4 = 4 devices),
+        # y (t4 and t5 = 2 distinct devices)
+        assert sizes == {1: 2, 2: 1, 4: 1}
+
+    def test_port_width_defaults(self, half_adder, nmos):
+        stats = scan_module(
+            half_adder,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+            port_width=10.0,
+        )
+        assert stats.total_port_width == pytest.approx(40.0)
+
+    def test_explicit_port_width_wins(self, nmos):
+        module = (
+            NetlistBuilder("m")
+            .port("a", width_lambda=20.0)
+            .gate("INV", "g", a="a", y="y")
+            .build()
+        )
+        stats = scan_module(
+            module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+            port_width=8.0,
+        )
+        assert stats.total_port_width == pytest.approx(20.0)
+
+    def test_device_overrides_beat_resolver(self, nmos):
+        module = (
+            NetlistBuilder("m")
+            .inputs("g")
+            .transistor("nmos_enh", "t", gate="g", drain="d",
+                        width_lambda=99.0, height_lambda=2.0)
+            .build()
+        )
+        stats = scan_module(
+            module,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        assert stats.average_width == 99.0
+        assert stats.total_device_area == pytest.approx(198.0)
+
+    def test_missing_resolver_raises(self, half_adder):
+        with pytest.raises(EstimationError, match="no width"):
+            scan_module(half_adder)
+
+    def test_bad_resolver_value_raises(self, half_adder):
+        with pytest.raises(EstimationError, match="non-positive"):
+            scan_module(
+                half_adder,
+                device_width=lambda d: 0.0,
+                device_height=lambda d: 1.0,
+            )
+
+    def test_empty_module(self):
+        from repro.netlist.model import Module
+
+        stats = scan_module(
+            Module("empty"),
+            device_width=lambda d: 1.0,
+            device_height=lambda d: 1.0,
+        )
+        assert stats.device_count == 0
+        assert stats.average_width == 0.0
+
+
+class TestDerivedProperties:
+    def _stats(self, histogram):
+        return ModuleStatistics(
+            module_name="m",
+            device_count=10,
+            net_count=sum(y for _, y in histogram),
+            port_count=2,
+            width_histogram=((8.0, 10),),
+            net_size_histogram=tuple(histogram),
+            average_width=8.0,
+            average_height=40.0,
+            total_device_area=3200.0,
+            total_port_width=16.0,
+            max_net_size=max((d for d, _ in histogram), default=0),
+        )
+
+    def test_multi_component_nets_filters_singletons(self):
+        stats = self._stats([(1, 5), (2, 3), (4, 1)])
+        assert stats.multi_component_nets == ((2, 3), (4, 1))
+        assert stats.routed_net_count == 4
+
+    def test_describe_mentions_key_numbers(self):
+        stats = self._stats([(2, 3)])
+        text = stats.describe()
+        assert "N=10" in text and "3 nets of D=2" in text
+
+
+class TestNetSizeCounts:
+    def test_counts(self, half_adder):
+        assert net_size_counts(half_adder) == {1: 2, 2: 2}

@@ -1,0 +1,66 @@
+"""Tests for module validation and warnings."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.model import Device, Module, Net, Port
+from repro.netlist.validate import module_warnings, validate_module
+
+
+class TestValidate:
+    def test_valid_module_returned(self, half_adder):
+        assert validate_module(half_adder) is half_adder
+
+    def test_device_without_pins(self):
+        module = Module("m")
+        module._devices["u1"] = Device("u1", "INV", {})
+        with pytest.raises(NetlistError, match="no pins"):
+            validate_module(module)
+
+    def test_net_without_endpoints(self):
+        module = Module("m")
+        module._nets["ghost"] = Net("ghost")
+        with pytest.raises(NetlistError, match="no endpoints"):
+            validate_module(module)
+
+    def test_net_referencing_unknown_device(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1"}))
+        del module._devices["u1"]
+        with pytest.raises(NetlistError, match="unknown device"):
+            validate_module(module)
+
+    def test_pin_map_disagreement(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1"}))
+        module.device("u1").pins["a"] = "other"
+        module._nets["other"] = Net("other")
+        with pytest.raises(NetlistError, match="disagrees"):
+            validate_module(module)
+
+
+class TestWarnings:
+    def test_clean_module_may_warn_only_on_dangling(self, half_adder):
+        # Output nets s/c have one device and one port -> 2 endpoints.
+        assert module_warnings(half_adder) == []
+
+    def test_dangling_net_warned(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1", "y": "n2"}))
+        module.add_device(Device("u2", "INV", {"a": "n2", "y": "n3"}))
+        warnings = module_warnings(module)
+        assert any("n1" in w for w in warnings)
+        assert any("n3" in w for w in warnings)
+
+    def test_shorted_device_warned(self):
+        module = Module("m")
+        module.add_device(Device("u1", "INV", {"a": "n1", "y": "n1"}))
+        module.add_device(Device("u2", "INV", {"a": "n1", "y": "n2"}))
+        warnings = module_warnings(module)
+        assert any("shorted" in w for w in warnings)
+
+    def test_empty_module_warned(self):
+        module = Module("m")
+        warnings = module_warnings(module)
+        assert any("no devices" in w for w in warnings)
+        assert any("no external ports" in w for w in warnings)

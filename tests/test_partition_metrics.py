@@ -1,0 +1,158 @@
+"""Tests for KL partitioning and the netlist metrics."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.metrics import (
+    average_pins_per_device,
+    external_net_count,
+    fanout_profile,
+    rent_exponent,
+)
+from repro.netlist.partition import Bipartition, bipartition, cut_size
+from repro.workloads.generators import counter_module, random_gate_module
+
+
+def two_clusters(bridge_nets=1):
+    """Two densely connected 6-gate clusters joined by few nets."""
+    builder = NetlistBuilder("clusters").inputs("i0", "i1").outputs("o")
+    # Cluster A: chain + cross links among a0..a5.
+    builder.gate("INV", "a0", a="i0", y="na0")
+    for k in range(1, 6):
+        builder.gate("NAND2", f"a{k}", a=f"na{k-1}",
+                     b=f"na{max(0, k-2)}", y=f"na{k}")
+    # Cluster B similar, fed from i1.
+    builder.gate("INV", "b0", a="i1", y="nb0")
+    for k in range(1, 6):
+        builder.gate("NAND2", f"b{k}", a=f"nb{k-1}",
+                     b=f"nb{max(0, k-2)}", y=f"nb{k}")
+    # Bridges.
+    for k in range(bridge_nets):
+        builder.gate("AND2", f"bridge{k}", a="na5", b="nb5",
+                     y="o" if k == 0 else f"bn{k}")
+    return builder.build()
+
+
+class TestBipartition:
+    def test_partitions_everything_once(self):
+        module = two_clusters()
+        result = bipartition(module, seed=1)
+        all_devices = {d.name for d in module.devices}
+        assert result.left | result.right == all_devices
+        assert not (result.left & result.right)
+
+    def test_balanced(self):
+        module = two_clusters()
+        result = bipartition(module, seed=1)
+        assert abs(result.balance - 0.5) <= 0.1
+
+    def test_finds_natural_cut(self):
+        """The two-cluster circuit has an obvious small cut; KL should
+        get close to it (clusters mostly unseparated)."""
+        module = two_clusters()
+        result = bipartition(module, seed=3)
+        # Perfect split cuts only the bridge's nets (na5, nb5 feed the
+        # bridge) -- allow some slack but far below the ~13 internal nets.
+        assert result.cut_size <= 6
+
+    def test_cut_nets_consistent_with_cut_size(self):
+        module = two_clusters()
+        result = bipartition(module, seed=2)
+        assert cut_size(module, set(result.left)) == result.cut_size
+
+    def test_deterministic_per_seed(self):
+        module = random_gate_module("r", gates=30, inputs=4, outputs=2,
+                                    seed=5)
+        a = bipartition(module, seed=9)
+        b = bipartition(module, seed=9)
+        assert a.left == b.left
+
+    def test_improves_over_random_split(self):
+        module = random_gate_module("r", gates=40, inputs=4, outputs=2,
+                                    seed=6, locality=0.9)
+        import random
+
+        rng = random.Random(0)
+        names = [d.name for d in module.devices]
+        rng.shuffle(names)
+        random_cut = cut_size(module, set(names[: len(names) // 2]))
+        kl_cut = bipartition(module, seed=0).cut_size
+        assert kl_cut <= random_cut
+
+    def test_too_small_rejected(self):
+        module = (
+            NetlistBuilder("tiny").inputs("a")
+            .gate("INV", "g", a="a", y="y").build()
+        )
+        with pytest.raises(NetlistError):
+            bipartition(module)
+
+
+class TestFanoutProfile:
+    def test_counts(self, half_adder):
+        profile = fanout_profile(half_adder)
+        # Nets a and b each touch both gates: two 2-component nets.
+        assert dict(profile.histogram) == {2: 2}
+        assert profile.mean == 2.0
+        assert profile.maximum == 2
+        assert profile.two_point_fraction == 1.0
+
+    def test_empty_module(self):
+        from repro.netlist.model import Module
+
+        profile = fanout_profile(Module("e"))
+        assert profile.histogram == ()
+        assert profile.mean == 0.0
+
+    def test_structured_module_mostly_small_nets(self):
+        module = counter_module("c", bits=8)
+        profile = fanout_profile(module)
+        assert profile.two_point_fraction > 0.3
+        assert profile.maximum >= 8  # the clock net
+
+
+class TestPinStats:
+    def test_average_pins(self, half_adder):
+        assert average_pins_per_device(half_adder) == 3.0
+
+    def test_empty(self):
+        from repro.netlist.model import Module
+
+        assert average_pins_per_device(Module("e")) == 0.0
+
+
+class TestExternalNets:
+    def test_whole_module_external_nets_are_port_nets(self, half_adder):
+        devices = {d.name for d in half_adder.devices}
+        # a, b, s, c all reach ports.
+        assert external_net_count(half_adder, devices) == 4
+
+    def test_single_device_block(self, half_adder):
+        assert external_net_count(half_adder, {"x1"}) == 3  # a, b, s
+
+    def test_empty_block(self, half_adder):
+        assert external_net_count(half_adder, set()) == 0
+
+
+class TestRentExponent:
+    def test_structured_logic_in_plausible_band(self):
+        module = counter_module("c", bits=16)
+        estimate = rent_exponent(module, seed=1)
+        assert 0.1 < estimate.exponent < 1.1
+        assert estimate.coefficient > 0
+        assert estimate.sample_count >= 3
+
+    def test_local_vs_global_connectivity(self):
+        local = random_gate_module("l", gates=64, inputs=6, outputs=4,
+                                   seed=3, locality=1.0)
+        globl = random_gate_module("g", gates=64, inputs=6, outputs=4,
+                                   seed=3, locality=0.0)
+        p_local = rent_exponent(local, seed=1).exponent
+        p_global = rent_exponent(globl, seed=1).exponent
+        # Globally wired logic has richer external connectivity.
+        assert p_global > p_local - 0.15
+
+    def test_too_small_rejected(self, half_adder):
+        with pytest.raises(NetlistError, match="devices"):
+            rent_exponent(half_adder)

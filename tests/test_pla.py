@@ -1,0 +1,100 @@
+"""Tests for the PLA area model extension."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pla import (
+    PlaSpec,
+    estimate_pla,
+    fit_linear_model,
+    linearity_r_squared,
+)
+from repro.errors import EstimationError
+
+
+def spec(inputs=8, outputs=4, terms=16, programmed=64, name="p"):
+    return PlaSpec(name, inputs, outputs, terms, programmed)
+
+
+class TestPlaSpec:
+    def test_valid(self):
+        s = spec()
+        assert s.inputs == 8
+
+    @pytest.mark.parametrize("field,value", [
+        ("inputs", 0), ("outputs", 0), ("product_terms", 0),
+    ])
+    def test_rejects_nonpositive(self, field, value):
+        kwargs = dict(name="p", inputs=8, outputs=4, product_terms=16,
+                      programmed_points=10)
+        kwargs[field] = value
+        with pytest.raises(EstimationError):
+            PlaSpec(**kwargs)
+
+    def test_programmed_points_bounded(self):
+        with pytest.raises(EstimationError):
+            spec(programmed=10_000)
+        with pytest.raises(EstimationError):
+            spec(programmed=-1)
+
+
+class TestEstimatePla:
+    def test_structural_area(self):
+        s = spec(inputs=4, outputs=2, terms=10)
+        estimate = estimate_pla(s, grid_pitch=8.0, row_overhead=20.0,
+                                column_overhead=30.0)
+        assert estimate.width == pytest.approx((2 * 4 + 2) * 8.0 + 20.0)
+        assert estimate.height == pytest.approx(10 * 8.0 + 30.0)
+        assert estimate.area == pytest.approx(
+            estimate.width * estimate.height
+        )
+
+    def test_rejects_bad_pitch(self):
+        with pytest.raises(EstimationError):
+            estimate_pla(spec(), grid_pitch=0.0)
+
+    @given(
+        inputs=st.integers(1, 30),
+        outputs=st.integers(1, 30),
+        terms=st.integers(1, 100),
+    )
+    def test_area_monotone_in_terms(self, inputs, outputs, terms):
+        a = estimate_pla(PlaSpec("a", inputs, outputs, terms, 0)).area
+        b = estimate_pla(PlaSpec("b", inputs, outputs, terms + 1, 0)).area
+        assert b > a
+
+
+class TestLinearFit:
+    def test_recovers_exact_linear_data(self):
+        observations = [
+            (f, d, 10.0 * f + 0.5 * d + 100.0)
+            for f, d in [(1, 10), (2, 30), (5, 20), (7, 80), (9, 40)]
+        ]
+        a, b, c = fit_linear_model(observations)
+        assert a == pytest.approx(10.0)
+        assert b == pytest.approx(0.5)
+        assert c == pytest.approx(100.0)
+
+    def test_r_squared_one_for_linear_data(self):
+        observations = [
+            (f, d, 3.0 * f + 2.0 * d + 7.0)
+            for f, d in [(1, 5), (2, 9), (4, 1), (8, 6), (3, 3)]
+        ]
+        assert linearity_r_squared(observations) == pytest.approx(1.0)
+
+    def test_requires_three_observations(self):
+        with pytest.raises(EstimationError):
+            fit_linear_model([(1, 1, 1), (2, 2, 2)])
+
+    def test_collinear_rejected(self):
+        observations = [(1.0, 2.0, 5.0)] * 5
+        with pytest.raises(EstimationError, match="singular"):
+            fit_linear_model(observations)
+
+    def test_gerveshi_relation_on_structural_model(self):
+        """Structural PLA areas are (near-)linear in (terms, devices)."""
+        from repro.experiments.pla_linearity import run_pla_linearity
+
+        _, _, r_squared = run_pla_linearity(count=30, seed=5)
+        assert r_squared > 0.85

@@ -1,0 +1,69 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.reporting import format_cell, format_percent, render_table
+
+
+class TestFormatCell:
+    def test_int_grouping(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_float_tiers(self):
+        assert format_cell(12345.6) == "12,346"
+        assert format_cell(42.25) == "42.2"
+        assert format_cell(1.2345) == "1.234"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("hello") == "hello"
+
+
+class TestFormatPercent:
+    def test_signed(self):
+        assert format_percent(0.425) == "+42.5%"
+        assert format_percent(-0.12) == "-12.0%"
+
+    def test_unsigned(self):
+        assert format_percent(0.425, signed=False) == "42.5%"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        text = render_table(
+            ("Name", "Area"),
+            [("a", 100), ("b", 2000)],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1].startswith("+-")
+        assert "Name" in lines[2]
+        assert "2,000" in text
+
+    def test_numeric_right_aligned(self):
+        text = render_table(("N",), [(5,), (500,)])
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        # Header row then data rows; data right-aligned means the short
+        # value is padded on the left.
+        assert rows[1] == "|   5 |"
+        assert rows[2] == "| 500 |"
+
+    def test_text_left_aligned(self):
+        text = render_table(("Name",), [("ab",), ("abcd",)])
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert rows[1] == "| ab   |"
+
+    def test_empty_rows_ok(self):
+        text = render_table(("A", "B"), [])
+        assert "A" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("A", "B"), [("only-one",)])

@@ -1,0 +1,121 @@
+"""Tests for the result record types."""
+
+import pytest
+
+from repro.core.results import (
+    FullCustomEstimate,
+    ModuleEstimate,
+    StandardCellEstimate,
+)
+from repro.netlist.stats import ModuleStatistics
+
+
+def sc_estimate(area_width=100.0, area_height=50.0):
+    return StandardCellEstimate(
+        module_name="m",
+        rows=2,
+        cell_width_per_row=90.0,
+        feedthroughs=2,
+        feedthrough_width=10.0,
+        tracks=8,
+        tracks_by_net_size=((2, 2), (3, 2)),
+        width=area_width,
+        height=area_height,
+        cell_area=3000.0,
+        wiring_area=2000.0,
+        area=area_width * area_height,
+    )
+
+
+def fc_estimate(area=4000.0, width=80.0):
+    return FullCustomEstimate(
+        module_name="m",
+        device_area_mode="exact",
+        device_area=3000.0,
+        wire_area=1000.0,
+        area=area,
+        width=width,
+        height=area / width,
+        net_areas=(("n1", 600.0), ("n2", 400.0)),
+    )
+
+
+def stats():
+    return ModuleStatistics(
+        module_name="m",
+        device_count=10,
+        net_count=12,
+        port_count=4,
+        width_histogram=((8.0, 10),),
+        net_size_histogram=((2, 8), (3, 4)),
+        average_width=8.0,
+        average_height=40.0,
+        total_device_area=3200.0,
+        total_port_width=32.0,
+        max_net_size=3,
+    )
+
+
+class TestStandardCellEstimate:
+    def test_aspect_ratio(self):
+        estimate = sc_estimate(100.0, 50.0)
+        assert estimate.aspect_ratio == 2.0
+        assert estimate.normalized_aspect == 2.0
+
+    def test_normalized_folds_tall_modules(self):
+        estimate = sc_estimate(50.0, 100.0)
+        assert estimate.aspect_ratio == 0.5
+        assert estimate.normalized_aspect == 2.0
+
+
+class TestFullCustomEstimate:
+    def test_aspect(self):
+        estimate = fc_estimate(area=4000.0, width=80.0)
+        assert estimate.aspect_ratio == pytest.approx(80.0 / 50.0)
+
+    def test_net_areas_preserved(self):
+        estimate = fc_estimate()
+        assert dict(estimate.net_areas) == {"n1": 600.0, "n2": 400.0}
+
+
+class TestModuleEstimate:
+    def test_best_methodology_smaller_wins(self):
+        record = ModuleEstimate(
+            module_name="m",
+            statistics=stats(),
+            process_name="p",
+            standard_cell=sc_estimate(100.0, 50.0),   # 5000
+            full_custom=fc_estimate(area=4000.0),     # 4000
+        )
+        assert record.best_methodology() == "full-custom"
+
+    def test_best_methodology_single_option(self):
+        record = ModuleEstimate(
+            module_name="m",
+            statistics=stats(),
+            process_name="p",
+            standard_cell=sc_estimate(),
+            full_custom=None,
+        )
+        assert record.best_methodology() == "standard-cell"
+
+    def test_best_methodology_none(self):
+        record = ModuleEstimate(
+            module_name="m",
+            statistics=stats(),
+            process_name="p",
+            standard_cell=None,
+            full_custom=None,
+        )
+        assert record.best_methodology() == "none"
+
+    def test_records_are_frozen(self):
+        record = ModuleEstimate(
+            module_name="m",
+            statistics=stats(),
+            process_name="p",
+            standard_cell=None,
+            full_custom=None,
+        )
+        with pytest.raises(AttributeError):
+            record.module_name = "other"

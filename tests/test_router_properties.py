@@ -1,0 +1,171 @@
+"""Deep property tests for the channel router and cross-format flows."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.geometry import Interval
+from repro.layout.routing.channel import (
+    ChannelNet,
+    _vertical_constraints,
+    route_channel,
+    route_channel_dogleg,
+)
+
+
+def random_channel(rng, count, with_pins=True):
+    nets = []
+    for i in range(count):
+        left = rng.uniform(0, 60)
+        right = left + rng.uniform(1.0, 30)
+        if with_pins:
+            pins = sorted(
+                rng.uniform(left, right)
+                for _ in range(rng.randint(2, 5))
+            )
+            split = rng.randint(1, len(pins) - 1)
+            top, bottom = tuple(pins[:split]), tuple(pins[split:])
+        else:
+            top, bottom = (), ()
+        nets.append(ChannelNet(f"n{i}", Interval(left, right), top, bottom))
+    return nets
+
+
+class TestConstraintSatisfaction:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(2, 20))
+    def test_every_satisfiable_constraint_respected(self, seed, count):
+        """For every VCG edge (a above b), either a's track index is
+        smaller (higher) than b's, or the router recorded a violation
+        (cycle fallback)."""
+        rng = random.Random(seed)
+        nets = random_channel(rng, count)
+        result = route_channel(nets, constrained=True)
+        predecessors = _vertical_constraints(nets, 1e-6)
+        broken = 0
+        for below, aboves in predecessors.items():
+            for above in aboves:
+                if result.assignment[above] >= result.assignment[below]:
+                    broken += 1
+        assert broken <= result.constraint_violations * count
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(2, 20))
+    def test_acyclic_channels_fully_satisfied(self, seed, count):
+        """When the router reports zero violations, every constraint
+        holds exactly."""
+        rng = random.Random(seed)
+        nets = random_channel(rng, count)
+        result = route_channel(nets, constrained=True)
+        if result.constraint_violations:
+            return
+        predecessors = _vertical_constraints(nets, 1e-6)
+        for below, aboves in predecessors.items():
+            for above in aboves:
+                assert result.assignment[above] < result.assignment[below]
+
+
+class TestDoglegProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(1, 15))
+    def test_segments_partition_each_net(self, seed, count):
+        rng = random.Random(seed)
+        nets = random_channel(rng, count)
+        result = route_channel_dogleg(nets)
+        for net in nets:
+            segments = sorted(
+                (interval for interval, _ in result.segments[net.name]),
+                key=lambda i: i.left,
+            )
+            assert segments[0].left == pytest.approx(net.interval.left)
+            assert segments[-1].right == pytest.approx(net.interval.right)
+            for a, b in zip(segments, segments[1:]):
+                assert a.right == pytest.approx(b.left)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(1, 15))
+    def test_dogleg_tracks_at_least_density(self, seed, count):
+        rng = random.Random(seed)
+        nets = random_channel(rng, count)
+        result = route_channel_dogleg(nets)
+        assert result.tracks >= result.density
+
+
+class TestCrossFormatConsistency:
+    def test_spice_round_trip_preserves_estimate(self, nmos):
+        """write_spice/parse_spice round trip leaves the full-custom
+        estimate bit-identical."""
+        from repro.core.full_custom import estimate_full_custom
+        from repro.netlist.spice import parse_spice
+        from repro.netlist.writers import write_spice
+        from repro.workloads.generators import (
+            expand_to_transistors,
+            random_gate_module,
+        )
+
+        mix = (("NAND2", 2.0), ("NOR2", 2.0), ("INV", 1.0))
+        gate_level = random_gate_module("x", gates=12, inputs=4, outputs=2,
+                                        seed=3, cell_mix=mix, locality=0.8)
+        module = expand_to_transistors(gate_level)
+        direct = estimate_full_custom(module, nmos)
+        round_tripped = estimate_full_custom(
+            parse_spice(write_spice(module)), nmos
+        )
+        assert round_tripped.area == direct.area
+        assert round_tripped.wire_area == direct.wire_area
+
+    def test_verilog_round_trip_preserves_estimate(self, nmos):
+        from repro.core.standard_cell import estimate_standard_cell
+        from repro.netlist.verilog import parse_verilog
+        from repro.netlist.writers import write_verilog
+        from repro.workloads.generators import random_gate_module
+
+        module = random_gate_module("x", gates=25, inputs=5, outputs=3,
+                                    seed=4)
+        direct = estimate_standard_cell(module, nmos)
+        round_tripped = estimate_standard_cell(
+            parse_verilog(write_verilog(module)), nmos
+        )
+        assert round_tripped.area == direct.area
+        assert round_tripped.tracks == direct.tracks
+
+    def test_flatten_preserves_statistics(self, nmos):
+        """Flattening a two-instance hierarchy doubles the leaf's
+        device count and keeps per-device statistics."""
+        from repro.netlist.hierarchy import build_library, flatten
+        from repro.netlist.stats import scan_module
+        from repro.netlist.verilog import parse_verilog_library
+
+        source = """
+        module leaf (a, y);
+          input a; output y;
+          NAND2 g1 (.a(a), .b(w), .y(w));
+          INV g2 (.a(w), .y(y));
+        endmodule
+        module top (x, z);
+          input x; output z;
+          leaf u1 (.a(x), .y(m));
+          leaf u2 (.a(m), .y(z));
+        endmodule
+        """
+        library = build_library(parse_verilog_library(source))
+        flat = flatten(library, "top")
+        leaf_stats = scan_module(
+            library["leaf"],
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        flat_stats = scan_module(
+            flat,
+            device_width=nmos.device_width,
+            device_height=nmos.device_height,
+        )
+        assert flat_stats.device_count == 2 * leaf_stats.device_count
+        assert flat_stats.total_device_area == pytest.approx(
+            2 * leaf_stats.total_device_area
+        )
+        assert flat_stats.average_width == pytest.approx(
+            leaf_stats.average_width
+        )

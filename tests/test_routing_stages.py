@@ -1,0 +1,168 @@
+"""Tests for feed-through insertion and global routing."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.placement.row_placer import PlacedCell, Placement
+from repro.layout.routing.feedthrough import insert_feedthroughs
+from repro.layout.routing.global_route import global_route
+
+
+def make_placement(rows, cells, nets):
+    """cells: list of (name, row, width); nets: {name: [cells]}."""
+    placement = Placement(module_name="m", rows=rows, row_height=40.0)
+    next_x = {}
+    for name, row, width in cells:
+        x = next_x.get(row, 0.0)
+        placement.cells[name] = PlacedCell(name, "CELL", row, x, width)
+        next_x[row] = x + width
+    placement.nets = {name: tuple(members) for name, members in nets.items()}
+    return placement
+
+
+class TestFeedthroughInsertion:
+    def test_no_gap_no_insertion(self, nmos):
+        placement = make_placement(
+            3,
+            [("a", 0, 10.0), ("b", 1, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        routed, counts = insert_feedthroughs(placement, nmos)
+        assert sum(counts.values()) == 0
+        assert len(routed.cells) == 2
+
+    def test_single_gap_filled(self, nmos):
+        placement = make_placement(
+            3,
+            [("a", 0, 10.0), ("b", 2, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        routed, counts = insert_feedthroughs(placement, nmos)
+        assert counts[1] == 1
+        ft = [c for c in routed.cells.values() if c.is_feedthrough]
+        assert len(ft) == 1
+        assert ft[0].row == 1
+        assert ft[0].width == nmos.feedthrough_width
+        assert ft[0].name in routed.nets["n1"]
+
+    def test_multi_gap_filled(self, nmos):
+        placement = make_placement(
+            5,
+            [("a", 0, 10.0), ("b", 4, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        routed, counts = insert_feedthroughs(placement, nmos)
+        assert [counts[r] for r in range(5)] == [0, 1, 1, 1, 0]
+
+    def test_occupied_intermediate_row_not_filled(self, nmos):
+        placement = make_placement(
+            3,
+            [("a", 0, 10.0), ("m", 1, 10.0), ("b", 2, 10.0)],
+            {"n1": ["a", "m", "b"]},
+        )
+        routed, counts = insert_feedthroughs(placement, nmos)
+        assert sum(counts.values()) == 0
+
+    def test_rows_repacked_legally(self, nmos):
+        placement = make_placement(
+            3,
+            [("a", 0, 10.0), ("c", 1, 12.0), ("b", 2, 10.0),
+             ("d", 0, 8.0), ("e", 2, 9.0)],
+            {"n1": ["a", "b"], "n2": ["d", "e"]},
+        )
+        routed, counts = insert_feedthroughs(placement, nmos)
+        assert counts[1] == 2
+        assert routed.validate() is routed
+
+    def test_net_membership_grows(self, nmos):
+        placement = make_placement(
+            3,
+            [("a", 0, 10.0), ("b", 2, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        routed, _ = insert_feedthroughs(placement, nmos)
+        assert len(routed.nets["n1"]) == 3
+
+
+class TestGlobalRoute:
+    def test_single_row_net_routes_above(self):
+        placement = make_placement(
+            2,
+            [("a", 0, 10.0), ("b", 0, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        assignment = global_route(placement)
+        assert assignment.occupied_channels == (1,)
+
+    def test_two_row_net_in_between_channel(self):
+        placement = make_placement(
+            2,
+            [("a", 0, 10.0), ("b", 1, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        assignment = global_route(placement)
+        nets = assignment.channel_nets(1)
+        assert len(nets) == 1
+        assert nets[0].name == "n1"
+        assert nets[0].bottom_columns == (5.0,)
+        assert nets[0].top_columns == (5.0,)
+
+    def test_interval_spans_pins(self):
+        placement = make_placement(
+            2,
+            [("a", 0, 10.0), ("c", 0, 10.0), ("b", 1, 10.0)],
+            {"n1": ["a", "b", "c"]},
+        )
+        nets = global_route(placement).channel_nets(1)
+        assert nets[0].interval.left == 5.0
+        assert nets[0].interval.right == 15.0
+
+    def test_spanning_net_touches_every_channel(self, nmos):
+        placement = make_placement(
+            4,
+            [("a", 0, 10.0), ("b", 3, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        routed, _ = insert_feedthroughs(placement, nmos)
+        assignment = global_route(routed)
+        assert assignment.occupied_channels == (1, 2, 3)
+
+    def test_non_consecutive_rows_rejected(self):
+        placement = make_placement(
+            3,
+            [("a", 0, 10.0), ("b", 2, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        with pytest.raises(LayoutError, match="feed-through"):
+            global_route(placement)
+
+    def test_top_row_single_net_uses_top_channel(self):
+        placement = make_placement(
+            2,
+            [("a", 1, 10.0), ("b", 1, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        assignment = global_route(placement)
+        assert assignment.occupied_channels == (2,)
+
+    def test_external_net_extended_to_nearest_edge(self):
+        placement = make_placement(
+            1,
+            [("a", 0, 10.0), ("b", 0, 10.0), ("c", 0, 10.0)],
+            {"n1": ["a", "b"], "wide": ["b", "c"]},
+        )
+        # Module width 30; n1 spans [5,15] (nearer left), wide spans
+        # [15,25] (nearer right).
+        assignment = global_route(placement, external_nets={"n1", "wide"})
+        by_name = {n.name: n for n in assignment.channel_nets(1)}
+        assert by_name["n1"].interval.left == 0.0
+        assert by_name["wide"].interval.right == pytest.approx(30.0)
+
+    def test_internal_net_not_extended(self):
+        placement = make_placement(
+            1,
+            [("a", 0, 10.0), ("b", 0, 10.0)],
+            {"n1": ["a", "b"]},
+        )
+        nets = global_route(placement).channel_nets(1)
+        assert nets[0].interval.left == 5.0

@@ -1,0 +1,173 @@
+"""Tests for the SA row placer (TimberWolf stand-in)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.placement.row_placer import (
+    _RowPlacementState,
+    place_module,
+)
+from repro.netlist.builder import NetlistBuilder
+from repro.workloads.generators import random_gate_module
+
+
+class TestPlaceModule:
+    def test_all_cells_placed_once(self, small_gate_module, nmos,
+                                   fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=3,
+                                    schedule=fast_schedule)
+        assert set(placement.cells) == {
+            d.name for d in small_gate_module.devices
+        }
+        assert placement.rows == 3
+
+    def test_placement_is_legal(self, small_gate_module, nmos,
+                                fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=3,
+                                    schedule=fast_schedule)
+        assert placement.validate() is placement
+
+    def test_rows_abut_from_zero(self, small_gate_module, nmos,
+                                 fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=2,
+                                    schedule=fast_schedule)
+        for row in range(2):
+            members = placement.row_members(row)
+            if not members:
+                continue
+            assert members[0].x == 0.0
+            for left, right in zip(members, members[1:]):
+                assert right.x == pytest.approx(left.x + left.width)
+
+    def test_widths_come_from_library(self, small_gate_module, nmos,
+                                      fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=2,
+                                    schedule=fast_schedule)
+        for cell in placement.cells.values():
+            device = small_gate_module.device(cell.name)
+            assert cell.width == nmos.device_width(device)
+
+    def test_nets_only_multi_component(self, small_gate_module, nmos,
+                                       fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=2,
+                                    schedule=fast_schedule)
+        for members in placement.nets.values():
+            assert len(members) >= 2
+
+    def test_annealing_improves_on_random(self, nmos):
+        module = random_gate_module("m", gates=40, inputs=4, outputs=2,
+                                    seed=8, locality=0.5)
+        from repro.layout.annealing import AnnealingSchedule
+
+        bad, result_bad = place_module(
+            module, nmos, rows=3,
+            schedule=AnnealingSchedule(moves_per_stage=1, stages=1,
+                                       cooling=0.5),
+            rng=random.Random(0),
+        )
+        good, result_good = place_module(
+            module, nmos, rows=3,
+            schedule=AnnealingSchedule(moves_per_stage=200, stages=25,
+                                       cooling=0.85),
+            rng=random.Random(0),
+        )
+        assert result_good.best_energy < result_bad.best_energy
+
+    def test_single_row(self, small_gate_module, nmos, fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=1,
+                                    schedule=fast_schedule)
+        assert all(cell.row == 0 for cell in placement.cells.values())
+
+    def test_zero_rows_rejected(self, small_gate_module, nmos):
+        with pytest.raises(LayoutError):
+            place_module(small_gate_module, nmos, rows=0)
+
+    def test_empty_module_rejected(self, nmos):
+        module = NetlistBuilder("e").inputs("a").build(validate=False)
+        with pytest.raises(LayoutError):
+            place_module(module, nmos, rows=2)
+
+    def test_deterministic_for_seed(self, small_gate_module, nmos,
+                                    fast_schedule):
+        a, _ = place_module(small_gate_module, nmos, rows=3,
+                            rng=random.Random(5), schedule=fast_schedule)
+        b, _ = place_module(small_gate_module, nmos, rows=3,
+                            rng=random.Random(5), schedule=fast_schedule)
+        assert {n: (c.row, c.x) for n, c in a.cells.items()} == {
+            n: (c.row, c.x) for n, c in b.cells.items()
+        }
+
+
+class TestPlacementQueries:
+    def test_row_width(self, small_gate_module, nmos, fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=2,
+                                    schedule=fast_schedule)
+        for row in range(2):
+            members = placement.row_members(row)
+            expected = sum(c.width for c in members)
+            assert placement.row_width(row) == pytest.approx(expected)
+
+    def test_module_width_is_max_row(self, small_gate_module, nmos,
+                                     fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=3,
+                                    schedule=fast_schedule)
+        assert placement.width == max(
+            placement.row_width(r) for r in range(3)
+        )
+
+    def test_net_rows_sorted(self, small_gate_module, nmos, fast_schedule):
+        placement, _ = place_module(small_gate_module, nmos, rows=3,
+                                    schedule=fast_schedule)
+        for net in placement.nets:
+            rows = placement.net_rows(net)
+            assert list(rows) == sorted(set(rows))
+
+
+class TestStateInvariants:
+    """White-box checks of the incremental cost bookkeeping."""
+
+    def _random_state(self, rng, cells=12, nets=8, rows=3):
+        widths = [rng.uniform(4, 30) for _ in range(cells)]
+        net_lists = []
+        for _ in range(nets):
+            size = rng.randint(2, min(5, cells))
+            net_lists.append(rng.sample(range(cells), size))
+        return _RowPlacementState(widths, net_lists, rows, row_pitch=50.0)
+
+    def _full_recompute(self, state):
+        return sum(state._net_hpwl(i) for i in range(len(state.nets)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), moves=st.integers(1, 60))
+    def test_incremental_total_matches_recompute(self, seed, moves):
+        rng = random.Random(seed)
+        state = self._random_state(rng)
+        for _ in range(moves):
+            state.propose(rng)
+            assert state.total == pytest.approx(self._full_recompute(state))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_undo_restores_energy(self, seed):
+        rng = random.Random(seed)
+        state = self._random_state(rng)
+        before_energy = state.energy()
+        before_rows = [list(r) for r in state.row_cells]
+        token = state.propose(rng)
+        state.undo(token)
+        assert state.energy() == pytest.approx(before_energy)
+        assert state.row_cells == before_rows
+
+    def test_snapshot_restore(self):
+        rng = random.Random(1)
+        state = self._random_state(rng)
+        snap = state.snapshot()
+        energy = state.energy()
+        for _ in range(25):
+            state.propose(rng)
+        state.restore(snap)
+        assert state.energy() == pytest.approx(energy)

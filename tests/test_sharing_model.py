@@ -1,0 +1,165 @@
+"""Tests for the analytic track-sharing model (Section 7 future work)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import EstimatorConfig
+from repro.core.sharing import (
+    equivalent_sharing_factor,
+    estimate_shared_tracks,
+    expected_channels_for_net,
+    expected_span_fraction,
+)
+from repro.core.standard_cell import estimate_standard_cell
+from repro.errors import EstimationError
+
+
+class TestSpanFraction:
+    def test_known_values(self):
+        assert expected_span_fraction(2) == pytest.approx(1 / 3)
+        assert expected_span_fraction(3) == pytest.approx(1 / 2)
+        assert expected_span_fraction(1) == 0.0
+
+    @given(d=st.integers(2, 100))
+    def test_monotone_and_bounded(self, d):
+        assert expected_span_fraction(d) < expected_span_fraction(d + 1)
+        assert 0.0 < expected_span_fraction(d) < 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(EstimationError):
+            expected_span_fraction(0)
+
+    def test_matches_order_statistics_simulation(self, rng):
+        trials = 20_000
+        for d in (2, 4, 7):
+            total = 0.0
+            for _ in range(trials):
+                points = [rng.random() for _ in range(d)]
+                total += max(points) - min(points)
+            assert total / trials == pytest.approx(
+                expected_span_fraction(d), abs=0.01
+            )
+
+
+class TestChannelsForNet:
+    def test_single_component_zero(self):
+        assert expected_channels_for_net(1, 5) == 0
+
+    def test_single_row_net_one_channel(self):
+        assert expected_channels_for_net(2, 1) == 1
+
+    def test_spread_minus_one(self):
+        # D=5, n=5: E(i) ~ 3.4 -> ceil 4 -> 3 channels.
+        from repro.core.probability import expected_row_spread
+        from repro.units import round_up
+
+        spread = round_up(expected_row_spread(5, 5))
+        assert expected_channels_for_net(5, 5) == spread - 1
+
+
+class TestEstimateSharedTracks:
+    def test_empty_histogram(self):
+        estimate = estimate_shared_tracks([], rows=3)
+        assert estimate.total_tracks == 0
+        assert estimate.mean_density == 0.0
+
+    def test_singleton_nets_free(self):
+        estimate = estimate_shared_tracks([(1, 100)], rows=3)
+        assert estimate.total_tracks == 0
+
+    def test_channels_is_rows_plus_one(self):
+        estimate = estimate_shared_tracks([(2, 10)], rows=4)
+        assert estimate.channels == 5
+
+    def test_total_is_per_channel_times_channels(self):
+        estimate = estimate_shared_tracks([(2, 30), (4, 5)], rows=3)
+        assert estimate.total_tracks == min(
+            estimate.tracks_per_channel * estimate.channels,
+            75,  # clamped by the 2-tracks-per-net upper bound
+        )
+
+    def test_margin_scales_tracks(self):
+        low = estimate_shared_tracks([(2, 60)], rows=3,
+                                     congestion_margin=1.0)
+        high = estimate_shared_tracks([(2, 60)], rows=3,
+                                      congestion_margin=2.0)
+        assert high.total_tracks >= low.total_tracks
+
+    @given(
+        nets=st.lists(
+            st.tuples(st.integers(2, 10), st.integers(1, 50)),
+            min_size=1, max_size=8,
+        ),
+        rows=st.integers(1, 12),
+    )
+    def test_never_exceeds_upper_bound(self, nets, rows):
+        """Sharing can only reduce the one-net-per-track count."""
+        from repro.core.probability import total_expected_tracks
+
+        # Deduplicate D values (histogram semantics).
+        histogram = {}
+        for d, y in nets:
+            histogram[d] = histogram.get(d, 0) + y
+        histogram = sorted(histogram.items())
+        shared = estimate_shared_tracks(histogram, rows,
+                                        congestion_margin=1.0)
+        upper = total_expected_tracks(histogram, rows)
+        assert shared.total_tracks <= upper
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(EstimationError):
+            estimate_shared_tracks([(2, 5)], rows=0)
+        with pytest.raises(EstimationError):
+            estimate_shared_tracks([(2, 5)], rows=3, congestion_margin=0.5)
+        with pytest.raises(EstimationError):
+            estimate_shared_tracks([(2, -1)], rows=3)
+
+
+class TestEquivalentFactor:
+    def test_basic(self):
+        assert equivalent_sharing_factor(30, 60) == pytest.approx(0.5)
+
+    def test_clamped_to_one(self):
+        assert equivalent_sharing_factor(80, 60) == 1.0
+
+    def test_rejects_bad(self):
+        with pytest.raises(EstimationError):
+            equivalent_sharing_factor(10, 0)
+        with pytest.raises(EstimationError):
+            equivalent_sharing_factor(-1, 10)
+
+
+class TestIntegrationWithEstimator:
+    def test_shared_model_shrinks_estimate(self, small_gate_module, nmos):
+        upper = estimate_standard_cell(
+            small_gate_module, nmos, EstimatorConfig(rows=3)
+        )
+        shared = estimate_standard_cell(
+            small_gate_module, nmos,
+            EstimatorConfig(rows=3, track_model="shared"),
+        )
+        assert shared.tracks <= upper.tracks
+        assert shared.area <= upper.area
+
+    def test_shared_model_still_upper_bounds_router(self, small_gate_module,
+                                                    nmos, fast_schedule):
+        from repro.layout.standard_cell_flow import layout_standard_cell
+
+        shared = estimate_standard_cell(
+            small_gate_module, nmos,
+            EstimatorConfig(rows=3, track_model="shared"),
+        )
+        layout = layout_standard_cell(small_gate_module, nmos, rows=3,
+                                      schedule=fast_schedule)
+        # The shared model targets accuracy, not a bound, but on small
+        # modules it should stay within 3x of the routed track count.
+        assert shared.tracks <= 3 * max(layout.tracks, 1)
+
+    def test_unknown_track_model_rejected(self):
+        with pytest.raises(EstimationError, match="track_model"):
+            EstimatorConfig(track_model="psychic")
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(EstimationError, match="congestion_margin"):
+            EstimatorConfig(congestion_margin=0.9)

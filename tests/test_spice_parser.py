@@ -1,0 +1,130 @@
+"""Tests for the SPICE deck parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.spice import parse_spice
+
+GOOD = """* inverter test deck
+.SUBCKT inv a y
+M1 y a gnd gnd nmos_enh W=7 L=2
+M2 vdd y y vdd nmos_dep W=10 L=2
+.ENDS
+.END
+"""
+
+
+class TestBasicParse:
+    def test_subckt_becomes_module(self):
+        module = parse_spice(GOOD)
+        assert module.name == "inv"
+        assert module.port_count == 2
+        assert module.device_count == 2
+
+    def test_mosfet_pins(self):
+        module = parse_spice(GOOD)
+        assert module.device("M1").pins == {
+            "d": "y", "g": "a", "s": "gnd", "b": "gnd"
+        }
+
+    def test_width_read_as_lambda_length_ignored(self):
+        module = parse_spice(GOOD)
+        assert module.device("M1").width_lambda == 7.0
+        # L is the channel length, not a footprint dimension.
+        assert module.device("M1").height_lambda is None
+
+    def test_three_terminal_mosfet(self):
+        deck = "* t\n.SUBCKT m a\nM1 d a s nmos_enh\n.ENDS\n"
+        module = parse_spice(deck)
+        assert module.device("M1").pins == {"d": "d", "g": "a", "s": "s"}
+
+    def test_continuation_lines(self):
+        deck = (
+            "* t\n.SUBCKT m a\nM1 d a s\n+ nmos_enh W=7\n.ENDS\n"
+        )
+        module = parse_spice(deck)
+        assert module.device("M1").cell == "nmos_enh"
+        assert module.device("M1").width_lambda == 7.0
+
+    def test_comments_and_blank_lines(self):
+        deck = (
+            "* title\n\n.SUBCKT m a\n* a comment\nM1 d a s nmos_enh $ eol\n"
+            ".ENDS\n"
+        )
+        module = parse_spice(deck)
+        assert module.device_count == 1
+
+    def test_passives(self):
+        deck = "* t\n.SUBCKT m a b\nR1 a b 100\nC1 a b 1p\n.ENDS\n"
+        module = parse_spice(deck)
+        assert module.device("R1").cell == "res"
+        assert module.device("C1").cell == "cap"
+
+    def test_magnitude_suffixes(self):
+        deck = "* t\n.SUBCKT m a\nM1 d a s nmos_enh W=2meg L=1u\n.ENDS\n"
+        module = parse_spice(deck)
+        assert module.device("M1").width_lambda == pytest.approx(2e6)
+
+    def test_deck_without_subckt_uses_title(self):
+        deck = "mychip first line\nM1 d g s nmos_enh\n.END\n"
+        module = parse_spice(deck)
+        assert module.name == "mychip"
+        assert module.port_count == 0
+
+    def test_global_and_option_cards_ignored(self):
+        deck = (
+            "* t\n.GLOBAL vdd gnd\n.OPTIONS reltol=1e-3\n"
+            ".SUBCKT m a\nM1 d a s nmos_enh\n.ENDS\n"
+        )
+        module = parse_spice(deck)
+        assert module.device_count == 1
+
+
+class TestErrors:
+    def test_empty_deck(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_spice("")
+
+    def test_missing_ends(self):
+        with pytest.raises(ParseError, match="missing .ENDS"):
+            parse_spice("* t\n.SUBCKT m a\nM1 d a s nmos_enh\n")
+
+    def test_double_subckt(self):
+        deck = (
+            "* t\n.SUBCKT m a\n.ENDS\n.SUBCKT n b\n.ENDS\n"
+        )
+        with pytest.raises(ParseError, match="multiple"):
+            parse_spice(deck)
+
+    def test_ends_without_subckt(self):
+        with pytest.raises(ParseError, match=".ENDS without"):
+            parse_spice("* t\n.ENDS\n")
+
+    def test_hierarchical_instance_rejected(self):
+        deck = "* t\n.SUBCKT m a\nX1 a b sub\n.ENDS\n"
+        with pytest.raises(ParseError, match="hierarchical"):
+            parse_spice(deck)
+
+    def test_unknown_element(self):
+        deck = "* t\n.SUBCKT m a\nQ1 c b e npn\n.ENDS\n"
+        with pytest.raises(ParseError, match="unsupported element"):
+            parse_spice(deck)
+
+    def test_mosfet_with_wrong_arity(self):
+        deck = "* t\n.SUBCKT m a\nM1 d a nmos_enh\n.ENDS\n"
+        with pytest.raises(ParseError, match="expected"):
+            parse_spice(deck)
+
+    def test_bad_parameter_value(self):
+        deck = "* t\n.SUBCKT m a\nM1 d a s nmos_enh W=abc\n.ENDS\n"
+        with pytest.raises(ParseError, match="malformed parameter"):
+            parse_spice(deck)
+
+    def test_continuation_without_line(self):
+        with pytest.raises(ParseError, match="continuation"):
+            parse_spice("* t\n+ more\n")
+
+    def test_resistor_missing_node(self):
+        deck = "* t\n.SUBCKT m a\nR1 a\n.ENDS\n"
+        with pytest.raises(ParseError, match="two nodes"):
+            parse_spice(deck)

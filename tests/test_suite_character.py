@@ -1,0 +1,89 @@
+"""Workload-character tests: the frozen suites must keep the structural
+properties the paper's experiments depend on.
+
+If a generator change silently alters a suite's connectivity character,
+the benchmark numbers drift without any code in core/ changing; these
+tests pin the character down.
+"""
+
+import pytest
+
+from repro.netlist.metrics import fanout_profile, rent_exponent
+from repro.workloads.generators import random_gate_module
+from repro.workloads.suites import table1_suite, table2_suite
+
+
+class TestTable1Character:
+    def test_starred_case_is_all_two_component(self):
+        case = table1_suite()[1]
+        assert case.experiment == 2
+        profile = fanout_profile(case.module)
+        assert profile.maximum == 2
+
+    def test_other_cases_have_multi_component_nets(self):
+        for case in table1_suite():
+            if case.experiment == 2:
+                continue
+            profile = fanout_profile(case.module)
+            assert profile.maximum >= 3, case.module.name
+
+    def test_modules_have_local_connectivity(self):
+        """Expanded structured logic: small mean fanout (the regime
+        where Eq. 13's minimum-interconnection model is meaningful)."""
+        for case in table1_suite():
+            profile = fanout_profile(case.module)
+            assert profile.mean <= 4.0, case.module.name
+
+    def test_port_counts_small_to_moderate(self):
+        for case in table1_suite():
+            assert 3 <= case.module.port_count <= 20
+
+
+class TestTable2Character:
+    def test_experiment1_is_globally_wired(self):
+        """Exp 1 models unstructured control logic: high mean fanout
+        (shared signals reused everywhere), which is what keeps the
+        routed track counts — and so the overestimate band — stable.
+        (At 30 cells a Rent fit is too noisy to pin; fanout is the
+        robust signature.)"""
+        module = table2_suite()[0].module
+        profile = fanout_profile(module)
+        assert profile.mean > 3.0
+        assert profile.maximum >= 5
+
+    def test_experiment2_is_structured(self):
+        module = table2_suite()[1].module
+        profile = fanout_profile(module)
+        # Datapath: dominated by 2-3 point nets plus the clock/select
+        # high-fanout nets.
+        assert profile.two_point_fraction > 0.4
+
+    def test_cells_are_wide(self, nmos):
+        """Both T2 modules use the wide-cell mix; mean cell width well
+        above the INV width keeps routing/cell-area ratios in the
+        calibrated band."""
+        for case in table2_suite():
+            widths = [
+                nmos.device_width(d) for d in case.module.devices
+            ]
+            assert sum(widths) / len(widths) > 20.0
+
+    def test_row_counts_give_multiple_channels(self):
+        for case in table2_suite():
+            assert min(case.row_counts) >= 3 or case.experiment == 1
+
+
+class TestGeneratorLocalityKnob:
+    def test_locality_lowers_rent_exponent_on_average(self):
+        """Across seeds, fully local generation should not look more
+        globally wired than fully global generation."""
+        local_p = []
+        global_p = []
+        for seed in (1, 2, 3):
+            local = random_gate_module("l", gates=72, inputs=6, outputs=4,
+                                       seed=seed, locality=1.0)
+            globl = random_gate_module("g", gates=72, inputs=6, outputs=4,
+                                       seed=seed, locality=0.0)
+            local_p.append(rent_exponent(local, seed=0).exponent)
+            global_p.append(rent_exponent(globl, seed=0).exponent)
+        assert sum(local_p) / 3 <= sum(global_p) / 3 + 0.1

@@ -1,0 +1,182 @@
+"""Tests for process databases, shipped libraries, and the JSON loader."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.netlist.model import Device
+from repro.technology.libraries import builtin_processes, cmos_process, nmos_process
+from repro.technology.loader import (
+    load_process,
+    load_process_file,
+    process_to_dict,
+    save_process_file,
+)
+from repro.technology.process import DeviceKind, DeviceType, ProcessDatabase
+
+
+class TestDeviceType:
+    def test_area(self):
+        assert DeviceType("X", 4.0, 5.0).area == 20.0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(TechnologyError):
+            DeviceType("X", 0.0, 5.0)
+        with pytest.raises(TechnologyError):
+            DeviceType("X", 4.0, -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TechnologyError):
+            DeviceType("", 4.0, 5.0)
+
+    def test_rejects_zero_pins(self):
+        with pytest.raises(TechnologyError):
+            DeviceType("X", 4.0, 5.0, pin_count=0)
+
+
+class TestProcessDatabase:
+    def _process(self):
+        return ProcessDatabase("p", 1.0, 40.0, 7.0, 7.0)
+
+    def test_register_and_lookup(self):
+        process = self._process()
+        process.register(DeviceType("INV", 8.0, 40.0))
+        assert process.has_type("INV")
+        assert process.device_type("INV").width == 8.0
+
+    def test_duplicate_type_rejected(self):
+        process = self._process()
+        process.register(DeviceType("INV", 8.0, 40.0))
+        with pytest.raises(TechnologyError, match="duplicate"):
+            process.register(DeviceType("INV", 9.0, 40.0))
+
+    def test_unknown_type_lists_known(self):
+        process = self._process()
+        process.register(DeviceType("INV", 8.0, 40.0))
+        with pytest.raises(TechnologyError, match="INV"):
+            process.device_type("NAND9")
+
+    def test_device_geometry_resolution(self):
+        process = self._process()
+        process.register(DeviceType("INV", 8.0, 40.0))
+        device = Device("u1", "INV", {"a": "n"})
+        assert process.device_width(device) == 8.0
+        assert process.device_height(device) == 40.0
+        assert process.device_area(device) == 320.0
+
+    def test_instance_overrides(self):
+        process = self._process()
+        process.register(DeviceType("INV", 8.0, 40.0))
+        device = Device("u1", "INV", {"a": "n"}, width_lambda=12.0)
+        assert process.device_width(device) == 12.0
+        assert process.device_height(device) == 40.0
+
+    def test_validate_checks_gate_heights(self):
+        process = self._process()
+        process.register(DeviceType("BAD", 8.0, 39.0, DeviceKind.GATE))
+        with pytest.raises(TechnologyError, match="height"):
+            process.validate()
+
+    def test_validate_ignores_transistors(self):
+        process = self._process()
+        process.register(DeviceType("T", 8.0, 9.0, DeviceKind.TRANSISTOR))
+        assert process.validate() is process
+
+    @pytest.mark.parametrize(
+        "field",
+        ["lambda_um", "row_height", "feedthrough_width", "track_pitch",
+         "port_pitch"],
+    )
+    def test_rejects_nonpositive_parameters(self, field):
+        kwargs = dict(name="p", lambda_um=1.0, row_height=40.0,
+                      feedthrough_width=7.0, track_pitch=7.0, port_pitch=8.0)
+        kwargs[field] = 0.0
+        with pytest.raises(TechnologyError):
+            ProcessDatabase(**kwargs)
+
+    def test_scaled_derivation(self):
+        process = self._process()
+        process.register(DeviceType("INV", 8.0, 40.0))
+        scaled = process.scaled("p2", 2.0)
+        assert scaled.lambda_um == 0.5
+        assert scaled.device_type("INV").width == 8.0  # lambda dims fixed
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(TechnologyError):
+            self._process().scaled("p2", 0.0)
+
+
+class TestShippedLibraries:
+    def test_nmos_matches_paper_lambda(self, nmos):
+        assert nmos.lambda_um == 2.5
+
+    def test_nmos_validates(self, nmos):
+        assert nmos.validate() is nmos
+
+    def test_cmos_validates(self, cmos):
+        assert cmos.validate() is cmos
+
+    def test_gate_heights_equal_row_height(self, nmos):
+        for device_type in nmos.device_types:
+            if device_type.kind is DeviceKind.GATE:
+                assert device_type.height == nmos.row_height
+
+    def test_transistors_share_height(self, nmos):
+        heights = {
+            dt.height
+            for dt in nmos.device_types
+            if dt.kind is DeviceKind.TRANSISTOR
+        }
+        assert len(heights) == 1
+
+    def test_core_cells_present_in_both(self, nmos, cmos):
+        for cell in ("INV", "NAND2", "NOR2", "XOR2", "DFF", "MUX2", "FADD"):
+            assert nmos.has_type(cell)
+            assert cmos.has_type(cell)
+
+    def test_cmos_cells_wider_than_nmos(self, nmos, cmos):
+        for cell in ("INV", "NAND2", "DFF"):
+            assert cmos.device_type(cell).width > nmos.device_type(cell).width
+
+    def test_builtin_registry(self):
+        registry = builtin_processes()
+        assert set(registry) == {"nmos", "cmos"}
+        assert registry["nmos"]().name == nmos_process().name
+
+
+class TestLoader:
+    def test_round_trip_dict(self, nmos):
+        data = process_to_dict(nmos)
+        loaded = load_process(data)
+        assert loaded.name == nmos.name
+        assert loaded.lambda_um == nmos.lambda_um
+        assert len(loaded.device_types) == len(nmos.device_types)
+        for original in nmos.device_types:
+            copy = loaded.device_type(original.name)
+            assert copy.width == original.width
+            assert copy.height == original.height
+            assert copy.kind is original.kind
+
+    def test_round_trip_file(self, nmos, tmp_path):
+        path = save_process_file(nmos, tmp_path / "nmos.json")
+        loaded = load_process_file(path)
+        assert process_to_dict(loaded) == process_to_dict(nmos)
+
+    def test_bad_version_rejected(self, nmos):
+        data = process_to_dict(nmos)
+        data["format_version"] = 99
+        with pytest.raises(TechnologyError, match="version"):
+            load_process(data)
+
+    def test_malformed_data_rejected(self):
+        with pytest.raises(TechnologyError):
+            load_process({"format_version": 1, "name": "x"})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TechnologyError, match="cannot read"):
+            load_process_file(tmp_path / "nope.json")
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TechnologyError, match="cannot read"):
+            load_process_file(path)

@@ -1,0 +1,141 @@
+"""Tests for repro.units: conversions, aspect helpers, rounding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestLambdaConversions:
+    def test_lambda_to_microns(self):
+        assert units.lambda_to_microns(4.0, 2.5) == 10.0
+
+    def test_microns_to_lambda(self):
+        assert units.microns_to_lambda(10.0, 2.5) == 4.0
+
+    def test_area_lambda2_to_um2(self):
+        assert units.area_lambda2_to_um2(100.0, 2.5) == 625.0
+
+    def test_area_um2_to_lambda2(self):
+        assert units.area_um2_to_lambda2(625.0, 2.5) == 100.0
+
+    def test_area_lambda2_to_mm2(self):
+        assert units.area_lambda2_to_mm2(1e6, 1.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_conversions_reject_nonpositive_lambda(self, bad):
+        with pytest.raises(ValueError):
+            units.lambda_to_microns(1.0, bad)
+        with pytest.raises(ValueError):
+            units.microns_to_lambda(1.0, bad)
+        with pytest.raises(ValueError):
+            units.area_lambda2_to_um2(1.0, bad)
+        with pytest.raises(ValueError):
+            units.area_um2_to_lambda2(1.0, bad)
+
+    @given(
+        value=st.floats(min_value=0.001, max_value=1e9),
+        lam=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_length_round_trip(self, value, lam):
+        assert units.microns_to_lambda(
+            units.lambda_to_microns(value, lam), lam
+        ) == pytest.approx(value, rel=1e-12)
+
+    @given(
+        value=st.floats(min_value=0.001, max_value=1e12),
+        lam=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_area_round_trip(self, value, lam):
+        assert units.area_um2_to_lambda2(
+            units.area_lambda2_to_um2(value, lam), lam
+        ) == pytest.approx(value, rel=1e-12)
+
+
+class TestFormatArea:
+    def test_lambda_only(self):
+        assert units.format_area(1234.0) == "1,234 lambda^2"
+
+    def test_with_physical_small(self):
+        text = units.format_area(100.0, 2.5)
+        assert "625" in text and "um^2" in text
+
+    def test_with_physical_large(self):
+        text = units.format_area(1e6, 2.5)
+        assert "mm^2" in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_area(-1.0)
+
+
+class TestAspect:
+    def test_aspect_ratio(self):
+        assert units.aspect_ratio(20.0, 10.0) == 2.0
+
+    def test_aspect_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            units.aspect_ratio(0.0, 1.0)
+        with pytest.raises(ValueError):
+            units.aspect_ratio(1.0, -2.0)
+
+    def test_normalized_aspect_folds(self):
+        assert units.normalized_aspect(10.0, 20.0) == 2.0
+        assert units.normalized_aspect(20.0, 10.0) == 2.0
+
+    @given(
+        w=st.floats(min_value=0.01, max_value=1e6),
+        h=st.floats(min_value=0.01, max_value=1e6),
+    )
+    def test_normalized_aspect_at_least_one(self, w, h):
+        assert units.normalized_aspect(w, h) >= 1.0
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "n,d,expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 3)]
+    )
+    def test_values(self, n, d, expected):
+        assert units.ceil_div(n, d) == expected
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(-1, 2)
+
+    @given(n=st.integers(0, 10**9), d=st.integers(1, 10**6))
+    def test_matches_math_ceil(self, n, d):
+        assert units.ceil_div(n, d) == math.ceil(n / d) or (
+            units.ceil_div(n, d) == -(-n // d)
+        )
+
+
+class TestRoundUp:
+    def test_exact_integer_stays(self):
+        assert units.round_up(3.0) == 3
+
+    def test_fraction_rounds_up(self):
+        assert units.round_up(3.0001) == 4
+
+    def test_float_noise_near_integer(self):
+        assert units.round_up(2.9999999999999996) == 3
+        assert units.round_up(3.0000000000000004) == 3
+
+    def test_zero(self):
+        assert units.round_up(0.0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.round_up(-0.5)
+
+    @given(value=st.floats(min_value=0.0, max_value=1e9))
+    def test_never_below_value_minus_epsilon(self, value):
+        result = units.round_up(value)
+        assert result >= value - 1e-6
+        assert result <= value + 1.0

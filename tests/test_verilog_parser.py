@@ -1,0 +1,176 @@
+"""Tests for the structural-Verilog parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.model import PortDirection
+from repro.netlist.verilog import parse_verilog, parse_verilog_library
+
+GOOD = """
+// half adder
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  wire unused;
+  XOR2 x1 (.a(a), .b(b), .y(s));
+  AND2 a1 (.a(a), .b(b), .y(c));
+endmodule
+"""
+
+
+class TestBasicParse:
+    def test_counts(self):
+        module = parse_verilog(GOOD)
+        assert module.name == "half_adder"
+        assert module.device_count == 2
+        assert module.port_count == 4
+
+    def test_directions(self):
+        module = parse_verilog(GOOD)
+        assert module.port("a").direction is PortDirection.INPUT
+        assert module.port("s").direction is PortDirection.OUTPUT
+
+    def test_pin_connections(self):
+        module = parse_verilog(GOOD)
+        assert module.device("x1").pins == {"a": "a", "b": "b", "y": "s"}
+
+    def test_block_comments_stripped(self):
+        source = GOOD.replace("// half adder", "/* multi\nline */")
+        module = parse_verilog(source)
+        assert module.device_count == 2
+
+    def test_positional_connections(self):
+        source = """
+        module m (a, y);
+          input a; output y;
+          INV u1 (a, y);
+        endmodule
+        """
+        module = parse_verilog(source)
+        assert module.device("u1").pins == {"p0": "a", "p1": "y"}
+
+    def test_inout_supported(self):
+        source = """
+        module m (p);
+          inout p;
+          INV u1 (.a(p), .y(p));
+        endmodule
+        """
+        module = parse_verilog(source)
+        assert module.port("p").direction is PortDirection.INOUT
+
+    def test_internal_wires_created_by_instances(self):
+        source = """
+        module m (a, y);
+          input a; output y;
+          wire w;
+          INV u1 (.a(a), .y(w));
+          INV u2 (.a(w), .y(y));
+        endmodule
+        """
+        module = parse_verilog(source)
+        assert module.has_net("w")
+        assert module.net("w").component_count == 2
+
+
+class TestLibraryParse:
+    def test_two_modules(self):
+        source = GOOD + """
+        module inverter (a, y);
+          input a; output y;
+          INV u1 (.a(a), .y(y));
+        endmodule
+        """
+        modules = parse_verilog_library(source)
+        assert [m.name for m in modules] == ["half_adder", "inverter"]
+
+    def test_parse_verilog_rejects_multiple(self):
+        source = GOOD + GOOD.replace("half_adder", "other")
+        with pytest.raises(ParseError, match="exactly one module"):
+            parse_verilog(source)
+
+
+class TestErrors:
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError):
+            parse_verilog("module m (a); input a; INV u (.a(a));")
+
+    def test_port_without_direction(self):
+        source = """
+        module m (a, b);
+          input a;
+          INV u1 (.a(a), .y(b));
+        endmodule
+        """
+        with pytest.raises(ParseError, match="no direction"):
+            parse_verilog(source)
+
+    def test_direction_without_port_listing(self):
+        source = """
+        module m (a);
+          input a; output ghost;
+          INV u1 (.a(a), .y(a));
+        endmodule
+        """
+        with pytest.raises(ParseError, match="absent from the port list"):
+            parse_verilog(source)
+
+    def test_duplicate_port_declaration(self):
+        source = """
+        module m (a, y);
+          input a; input a; output y;
+          INV u1 (.a(a), .y(y));
+        endmodule
+        """
+        with pytest.raises(ParseError, match="declared twice"):
+            parse_verilog(source)
+
+    def test_duplicate_pin(self):
+        source = """
+        module m (a, y);
+          input a; output y;
+          INV u1 (.a(a), .a(y));
+        endmodule
+        """
+        with pytest.raises(ParseError, match="connected twice"):
+            parse_verilog(source)
+
+    def test_unknown_statement(self):
+        source = """
+        module m (a, y);
+          input a; output y;
+          assign y = a;
+        endmodule
+        """
+        with pytest.raises(ParseError, match="unrecognised"):
+            parse_verilog(source)
+
+    def test_nested_module_rejected(self):
+        source = """
+        module outer (a);
+          input a;
+          module inner (b);
+        endmodule
+        """
+        with pytest.raises(ParseError):
+            parse_verilog(source)
+
+    def test_error_carries_location(self):
+        source = "module m (a);\n  input a;\n  assign y = a;\nendmodule"
+        with pytest.raises(ParseError) as excinfo:
+            parse_verilog(source, "design.v")
+        assert "design.v" in str(excinfo.value)
+
+    def test_instance_without_connections(self):
+        source = """
+        module m (a);
+          input a;
+          INV u1 ();
+        endmodule
+        """
+        with pytest.raises(ParseError, match="no connections"):
+            parse_verilog(source)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_verilog(GOOD + "\nstray tokens")

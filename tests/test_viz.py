@@ -1,0 +1,138 @@
+"""Tests for the SVG renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.floorplan.floorplanner import FloorplanModule, floorplan
+from repro.floorplan.shapes import ShapeList
+from repro.layout.annealing import AnnealingSchedule
+from repro.layout.full_custom_flow import layout_full_custom
+from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.viz import (
+    floorplan_to_svg,
+    floorplan_to_text,
+    full_custom_to_svg,
+    placement_to_svg,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+FAST = AnnealingSchedule(moves_per_stage=20, stages=4, cooling=0.7)
+
+
+def parse_svg(text: str) -> ET.Element:
+    root = ET.fromstring(text)
+    assert root.tag == f"{SVG_NS}svg"
+    return root
+
+
+def rects(root) -> list:
+    return root.findall(f".//{SVG_NS}rect")
+
+
+class TestPlacementSvg:
+    @pytest.fixture
+    def placement(self, small_gate_module, nmos):
+        layout = layout_standard_cell(
+            small_gate_module, nmos, rows=3, schedule=FAST,
+            keep_placement=True,
+        )
+        return layout.placement
+
+    def test_well_formed(self, placement):
+        root = parse_svg(placement_to_svg(placement))
+        assert root is not None
+
+    def test_one_rect_per_cell(self, placement):
+        root = parse_svg(placement_to_svg(placement))
+        assert len(rects(root)) == len(placement.cells)
+
+    def test_feedthroughs_distinct_fill(self, placement):
+        text = placement_to_svg(placement)
+        ft_count = sum(
+            1 for c in placement.cells.values() if c.is_feedthrough
+        )
+        assert text.count('#444444') == ft_count
+
+    def test_title_mentions_module(self, placement):
+        root = parse_svg(placement_to_svg(placement))
+        title = root.find(f"{SVG_NS}title")
+        assert placement.module_name in title.text
+
+    def test_bad_scale_rejected(self, placement):
+        with pytest.raises(LayoutError):
+            placement_to_svg(placement, scale=0.0)
+
+
+class TestFullCustomSvg:
+    @pytest.fixture
+    def layout(self, transistor_module, nmos):
+        return layout_full_custom(transistor_module, nmos,
+                                  anneal_ordering=False)
+
+    def test_well_formed(self, layout):
+        parse_svg(full_custom_to_svg(layout))
+
+    def test_one_rect_per_device(self, layout):
+        root = parse_svg(full_custom_to_svg(layout))
+        assert len(rects(root)) == len(layout.device_rects)
+
+    def test_cell_names_in_titles(self, layout):
+        text = full_custom_to_svg(layout)
+        for name in layout.device_rects:
+            assert name in text
+
+
+class TestFloorplanSvg:
+    @pytest.fixture
+    def plan(self):
+        modules = [
+            FloorplanModule("alpha", ShapeList.from_dimensions([(4, 2)])),
+            FloorplanModule("beta", ShapeList.from_dimensions([(3, 3)])),
+        ]
+        return floorplan(modules, schedule=FAST)
+
+    def test_well_formed(self, plan):
+        parse_svg(floorplan_to_svg(plan))
+
+    def test_chip_outline_plus_modules(self, plan):
+        root = parse_svg(floorplan_to_svg(plan))
+        assert len(rects(root)) == 1 + len(plan.placements)
+
+    def test_labels_present(self, plan):
+        root = parse_svg(floorplan_to_svg(plan))
+        texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+        assert "alpha" in texts and "beta" in texts
+
+    def test_text_rendering(self, plan):
+        text = floorplan_to_text(plan, columns=40)
+        assert "A = alpha" in text
+        assert "B = beta" in text
+        assert "dead space" in text
+        # Both symbols appear in the grid body.
+        body = "\n".join(line for line in text.splitlines()
+                         if line.startswith("|"))
+        assert "A" in body and "B" in body
+
+    def test_text_grid_width_consistent(self, plan):
+        text = floorplan_to_text(plan, columns=30)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert len(line) == 32
+
+    def test_text_bad_columns_rejected(self, plan):
+        with pytest.raises(LayoutError):
+            floorplan_to_text(plan, columns=4)
+
+    def test_rects_inside_canvas(self, plan):
+        root = parse_svg(floorplan_to_svg(plan, scale=2.0))
+        canvas_w = float(root.get("width"))
+        canvas_h = float(root.get("height"))
+        for rect in rects(root):
+            x = float(rect.get("x"))
+            y = float(rect.get("y"))
+            w = float(rect.get("width"))
+            h = float(rect.get("height"))
+            assert 0 <= x and x + w <= canvas_w + 1e-6
+            assert 0 <= y + 4.0 and y + h <= canvas_h + 1e-6

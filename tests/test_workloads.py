@@ -1,0 +1,274 @@
+"""Tests for the workload generators and the frozen suites."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.validate import validate_module
+from repro.workloads.generators import (
+    adder_module,
+    counter_module,
+    decoder_module,
+    expand_to_transistors,
+    mux_tree_module,
+    pass_transistor_chain,
+    random_gate_module,
+    register_file_module,
+)
+from repro.workloads.suites import table1_suite, table2_suite
+
+
+class TestRandomGateModule:
+    def test_counts(self):
+        module = random_gate_module("r", gates=25, inputs=5, outputs=3,
+                                    seed=1)
+        assert module.device_count == 25
+        assert module.port_count == 8
+        validate_module(module)
+
+    def test_deterministic(self):
+        a = random_gate_module("r", gates=20, inputs=4, outputs=2, seed=7)
+        b = random_gate_module("r", gates=20, inputs=4, outputs=2, seed=7)
+        assert {d.name: d.pins for d in a.devices} == {
+            d.name: d.pins for d in b.devices
+        }
+
+    def test_seeds_differ(self):
+        a = random_gate_module("r", gates=20, inputs=4, outputs=2, seed=1)
+        b = random_gate_module("r", gates=20, inputs=4, outputs=2, seed=2)
+        assert {d.name: d.pins for d in a.devices} != {
+            d.name: d.pins for d in b.devices
+        }
+
+    def test_outputs_driven(self):
+        module = random_gate_module("r", gates=10, inputs=3, outputs=4,
+                                    seed=3)
+        for k in range(4):
+            net = module.net(f"o{k}")
+            assert net.component_count >= 1
+
+    def test_locality_shortens_nets(self):
+        local = random_gate_module("l", gates=150, inputs=5, outputs=2,
+                                   seed=4, locality=1.0)
+        globl = random_gate_module("g", gates=150, inputs=5, outputs=2,
+                                   seed=4, locality=0.0)
+
+        def max_fanout(module):
+            return max(net.component_count for net in module.nets)
+
+        assert max_fanout(local) <= max_fanout(globl)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gates": 0},
+            {"inputs": 0},
+            {"outputs": 0},
+            {"locality": 1.5},
+            {"gates": 3, "outputs": 5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        base = dict(name="r", gates=10, inputs=3, outputs=2, seed=0)
+        base.update(kwargs)
+        base["name"] = "r"
+        with pytest.raises(NetlistError):
+            random_gate_module(**base)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        gates=st.integers(2, 60),
+        seed=st.integers(0, 100),
+        locality=st.floats(0.0, 1.0),
+    )
+    def test_always_valid(self, gates, seed, locality):
+        module = random_gate_module("r", gates=gates, inputs=3, outputs=2,
+                                    seed=seed, locality=locality)
+        validate_module(module)
+
+
+class TestStructuredGenerators:
+    def test_adder(self):
+        module = adder_module("add4", 4)
+        assert module.device_count == 4
+        assert module.port_count == 4 + 4 + 1 + 4 + 1
+        validate_module(module)
+
+    def test_counter(self):
+        module = counter_module("cnt4", 4)
+        # Per bit: XOR + DFF; AND for all but the last bit.
+        assert module.device_count == 4 * 2 + 3
+        validate_module(module)
+
+    def test_decoder(self):
+        module = decoder_module("dec3", 3)
+        assert module.port_count == 3 + 8
+        validate_module(module)
+        # Every output driven exactly once.
+        for line in range(8):
+            assert module.net(f"d{line}").component_count >= 1
+
+    def test_decoder_single_bit(self):
+        module = decoder_module("dec1", 1)
+        validate_module(module)
+
+    def test_mux_tree(self):
+        module = mux_tree_module("mux8", 3)
+        assert module.device_count == 4 + 2 + 1
+        validate_module(module)
+
+    def test_register_file(self):
+        module = register_file_module("rf", words=2, bits=3)
+        assert module.device_count == 2 * 3 * 2
+        validate_module(module)
+
+    @pytest.mark.parametrize("factory,bad", [
+        (adder_module, 0),
+        (counter_module, 0),
+        (decoder_module, 0),
+        (decoder_module, 7),
+        (mux_tree_module, 0),
+    ])
+    def test_bounds_checked(self, factory, bad):
+        with pytest.raises(NetlistError):
+            factory("x", bad)
+
+
+class TestTransistorExpansion:
+    def test_inverter_expansion(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        gate_level = (
+            NetlistBuilder("inv")
+            .inputs("a").outputs("y")
+            .gate("INV", "g", a="a", y="y")
+            .build()
+        )
+        xtor = expand_to_transistors(gate_level)
+        assert xtor.cell_usage() == {"nmos_enh": 1, "nmos_dep": 1}
+        assert xtor.has_net("vdd") and xtor.has_net("gnd")
+
+    def test_nand_series_stack(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        gate_level = (
+            NetlistBuilder("nand")
+            .inputs("a", "b").outputs("y")
+            .gate("NAND2", "g", a="a", b="b", y="y")
+            .build()
+        )
+        xtor = expand_to_transistors(gate_level)
+        # 2 series enh + 1 load.
+        assert xtor.cell_usage() == {"nmos_enh": 2, "nmos_dep": 1}
+
+    def test_nor_parallel(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        gate_level = (
+            NetlistBuilder("nor")
+            .inputs("a", "b").outputs("y")
+            .gate("NOR2", "g", a="a", b="b", y="y")
+            .build()
+        )
+        xtor = expand_to_transistors(gate_level)
+        assert xtor.cell_usage() == {"nmos_enh": 2, "nmos_dep": 1}
+        # Parallel pull-downs: both drains on the output net.
+        y_net = xtor.net("y")
+        assert y_net.component_count == 3
+
+    def test_and_gains_output_inverter(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        gate_level = (
+            NetlistBuilder("and2")
+            .inputs("a", "b").outputs("y")
+            .gate("AND2", "g", a="a", b="b", y="y")
+            .build()
+        )
+        xtor = expand_to_transistors(gate_level)
+        assert xtor.cell_usage() == {"nmos_enh": 3, "nmos_dep": 2}
+
+    def test_ports_preserved(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        gate_level = (
+            NetlistBuilder("inv")
+            .inputs("a").outputs("y")
+            .gate("INV", "g", a="a", y="y")
+            .build()
+        )
+        xtor = expand_to_transistors(gate_level, "renamed")
+        assert xtor.name == "renamed"
+        assert {p.name for p in xtor.ports} == {"a", "y"}
+
+    def test_unsupported_cell_rejected(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        gate_level = (
+            NetlistBuilder("ff")
+            .inputs("d", "ck").outputs("q")
+            .gate("DFF", "g", d="d", ck="ck", q="q")
+            .build()
+        )
+        with pytest.raises(NetlistError, match="no transistor expansion"):
+            expand_to_transistors(gate_level)
+
+    def test_expansion_validates(self):
+        module = decoder_module("dec2", 2)
+        xtor = expand_to_transistors(module)
+        validate_module(xtor)
+
+
+class TestPassTransistorChain:
+    def test_all_internal_nets_two_component(self):
+        module = pass_transistor_chain("chain", stages=8)
+        for net in module.iter_signal_nets():
+            assert net.component_count <= 2
+
+    def test_minimum_stages(self):
+        with pytest.raises(NetlistError):
+            pass_transistor_chain("c", stages=1)
+
+
+class TestSuites:
+    def test_table1_has_five_experiments(self):
+        cases = table1_suite()
+        assert [case.experiment for case in cases] == [1, 2, 3, 4, 5]
+
+    def test_table1_modules_are_transistor_level(self, nmos):
+        from repro.technology.process import DeviceKind
+
+        for case in table1_suite():
+            for device in case.module.devices:
+                assert nmos.device_kind(device) in (
+                    DeviceKind.TRANSISTOR, DeviceKind.PASSIVE
+                )
+
+    def test_table1_modules_validate(self):
+        for case in table1_suite():
+            validate_module(case.module)
+
+    def test_table1_sizes_small_to_moderate(self):
+        for case in table1_suite():
+            assert 10 <= case.module.device_count <= 60
+
+    def test_table2_structure(self):
+        cases = table2_suite()
+        assert len(cases) == 2
+        assert len(cases[0].row_counts) == 3  # paper: 3 variants
+        assert len(cases[1].row_counts) == 2  # paper: 2 variants
+
+    def test_table2_modules_validate(self, nmos):
+        for case in table2_suite():
+            validate_module(case.module)
+            for device in case.module.devices:
+                assert nmos.has_type(device.cell)
+
+    def test_suites_are_reproducible(self):
+        first = table1_suite()
+        second = table1_suite()
+        for a, b in zip(first, second):
+            assert {d.name: d.pins for d in a.module.devices} == {
+                d.name: d.pins for d in b.module.devices
+            }

@@ -1,0 +1,92 @@
+"""Round-trip tests: write(module) parses back structurally identical.
+
+Includes a hypothesis property over randomly generated gate modules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.model import Module
+from repro.netlist.spice import parse_spice
+from repro.netlist.verilog import parse_verilog
+from repro.netlist.writers import write_spice, write_verilog
+from repro.workloads.generators import random_gate_module
+
+
+def assert_structurally_equal(a: Module, b: Module) -> None:
+    assert a.name == b.name
+    assert {p.name for p in a.ports} == {p.name for p in b.ports}
+    assert {d.name: (d.cell, dict(d.pins)) for d in a.devices} == {
+        d.name: (d.cell, dict(d.pins)) for d in b.devices
+    }
+    a_nets = {n.name: sorted((c.device, c.pin) for c in n.connections)
+              for n in a.nets}
+    b_nets = {n.name: sorted((c.device, c.pin) for c in n.connections)
+              for n in b.nets}
+    assert a_nets == b_nets
+
+
+class TestVerilogRoundTrip:
+    def test_half_adder(self, half_adder):
+        text = write_verilog(half_adder)
+        assert_structurally_equal(half_adder, parse_verilog(text))
+
+    def test_small_module(self, small_gate_module):
+        text = write_verilog(small_gate_module)
+        assert_structurally_equal(small_gate_module, parse_verilog(text))
+
+    def test_directions_survive(self, half_adder):
+        parsed = parse_verilog(write_verilog(half_adder))
+        for port in half_adder.ports:
+            assert parsed.port(port.name).direction is port.direction
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        gates=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_modules_round_trip(self, gates, seed):
+        module = random_gate_module("rt", gates=gates, inputs=4, outputs=2,
+                                    seed=seed)
+        assert_structurally_equal(module, parse_verilog(write_verilog(module)))
+
+
+class TestSpiceRoundTrip:
+    def test_transistor_module(self, transistor_module):
+        text = write_spice(transistor_module)
+        parsed = parse_spice(text)
+        # SPICE prefixes non-M device names; compare by cell histogram
+        # and net structure instead of names.
+        assert parsed.device_count == transistor_module.device_count
+        assert parsed.cell_usage() == transistor_module.cell_usage()
+        assert {n.name for n in parsed.nets} == {
+            n.name for n in transistor_module.nets
+        }
+
+    def test_sizing_survives(self):
+        module = (
+            NetlistBuilder("sized")
+            .inputs("g")
+            .transistor("nmos_enh", "M1", gate="g", drain="d", source="gnd",
+                        width_lambda=14.0)
+            .build()
+        )
+        parsed = parse_spice(write_spice(module))
+        assert parsed.device("M1").width_lambda == 14.0
+
+    def test_gate_level_module_rejected(self, half_adder):
+        with pytest.raises(NetlistError, match="not expressible"):
+            write_spice(half_adder)
+
+    def test_passives(self):
+        from repro.netlist.model import Device
+
+        builder = NetlistBuilder("rc").inputs("a", "b")
+        builder.device(Device("R1", "res", {"a": "a", "b": "b"}))
+        builder.device(Device("C1", "cap", {"a": "a", "b": "b"}))
+        built = builder.build()
+        parsed = parse_spice(write_spice(built))
+        assert parsed.cell_usage() == {"res": 1, "cap": 1}
