@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Repo-level benchmark entry point.
+
+Runs the batch-engine perf-trajectory harness (the ``mae-bench``
+console script; see :mod:`repro.perf.bench`), writes
+``BENCH_batch_engine.json``, and validates the emitted record against
+the schema.  ``--smoke`` runs a tiny population so CI can exercise
+every phase in a second or two; all other flags pass straight through.
+
+The pytest-benchmark suites live alongside this script:
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -140,6 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         command = sub.add_parser(name, help=help_text)
         command.set_defaults(handler=handler)
+        if name in ("table1", "table2"):
+            _add_jobs_argument(command)
 
     ablation = sub.add_parser("ablation", help="run an ablation study")
     ablation.add_argument(
@@ -147,7 +149,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharing = A1 track sharing; rows = A3 row sweep; "
              "oracle = oracle-quality study",
     )
+    _add_jobs_argument(ablation)
     ablation.set_defaults(handler=_cmd_ablation)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the batch-engine perf benchmark and write BENCH_*.json",
+    )
+    _add_jobs_argument(bench)
+    bench.set_defaults(jobs=4)  # the parallel phase is the point here
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny run for CI: validates the harness and "
+                            "the emitted record, no timing claims")
+    bench.add_argument("--output", default=None,
+                       help="destination JSON file "
+                            "(default: BENCH_batch_engine.json)")
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 
@@ -156,6 +173,15 @@ def _add_process_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--tech", choices=sorted(builtin_processes()), default="nmos",
         help="fabrication process database (default: nmos)",
+    )
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan estimation tasks across N worker processes "
+             "(default: 1, the deterministic serial path; results are "
+             "identical at any job count)",
     )
 
 
@@ -372,17 +398,15 @@ def _cmd_process_export(args) -> None:
 
 
 def _cmd_table1(args) -> None:
-    del args
     from repro.experiments.table1 import format_table1, run_table1
 
-    print(format_table1(run_table1()))
+    print(format_table1(run_table1(jobs=args.jobs)))
 
 
 def _cmd_table2(args) -> None:
-    del args
     from repro.experiments.table2 import format_table2, run_table2
 
-    print(format_table2(run_table2()))
+    print(format_table2(run_table2(jobs=args.jobs)))
 
 
 def _cmd_central_row(args) -> None:
@@ -448,14 +472,25 @@ def _cmd_ablation(args) -> None:
 
     if args.which == "sharing":
         print(ablations.format_track_sharing(
-            ablations.run_track_sharing_ablation()
+            ablations.run_track_sharing_ablation(jobs=args.jobs)
         ))
     elif args.which == "rows":
-        print(ablations.format_row_sweep(ablations.run_row_sweep()))
+        print(ablations.format_row_sweep(
+            ablations.run_row_sweep(jobs=args.jobs)
+        ))
     else:
         print(ablations.format_oracle_quality(
-            ablations.run_oracle_quality_ablation()
+            ablations.run_oracle_quality_ablation(jobs=args.jobs)
         ))
+
+
+def _cmd_bench(args) -> None:
+    from repro.perf.bench import format_bench_record, run_bench, write_bench_record
+
+    record = run_bench(jobs=args.jobs, smoke=args.smoke)
+    path = write_bench_record(record, args.output)
+    print(format_bench_record(record))
+    print(f"trajectory record written to {path}")
 
 
 if __name__ == "__main__":

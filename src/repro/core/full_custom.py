@@ -37,7 +37,7 @@ from repro.core.config import EstimatorConfig
 from repro.core.results import FullCustomEstimate
 from repro.errors import EstimationError
 from repro.netlist.model import Module, Net
-from repro.netlist.stats import scan_module
+from repro.netlist.stats import ModuleStatistics, scan_module
 from repro.technology.process import ProcessDatabase
 
 
@@ -45,20 +45,26 @@ def estimate_full_custom(
     module: Module,
     process: ProcessDatabase,
     config: Optional[EstimatorConfig] = None,
+    stats: Optional["ModuleStatistics"] = None,
 ) -> FullCustomEstimate:
-    """Estimate full-custom layout area for a module."""
+    """Estimate full-custom layout area for a module.
+
+    ``stats`` lets batch callers reuse one schematic scan across
+    several configurations; when omitted the module is scanned here.
+    """
     config = config or EstimatorConfig()
     if module.device_count == 0:
         raise EstimationError(
             f"module {module.name!r}: cannot estimate an empty module"
         )
-    stats = scan_module(
-        module,
-        device_width=process.device_width,
-        device_height=process.device_height,
-        port_width=config.port_pitch_override or process.port_pitch,
-        power_nets=config.power_nets,
-    )
+    if stats is None:
+        stats = scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=config.port_pitch_override or process.port_pitch,
+            power_nets=config.power_nets,
+        )
 
     if config.device_area_mode == "exact":
         device_area = stats.total_device_area

@@ -20,6 +20,14 @@ subtraction of near-equal terms); Monte-Carlo simulators are provided so
 property tests — and the S1 benchmark reproducing the paper's
 "numerical simulation results" — can check the closed forms against
 brute force.
+
+The hot kernels (row-spread PMF, track demand, central feed-through
+probability, surjection counts) are implemented and memoized in
+:mod:`repro.perf.kernels`; the public functions here are thin wrappers
+so every caller — estimator, sweep, batch engine — shares one
+process-wide cache.  Results are bit-identical to the original
+closed forms (the kernels perform the same arithmetic in the same
+order).
 """
 
 from __future__ import annotations
@@ -30,25 +38,43 @@ from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import EstimationError
+from repro.perf import kernels as _kernels
 from repro.units import round_up
 
 #: Row-spread probability modes: the paper's Eq. 2 uses an exponent
 #: k = min(n, D) which does not normalise when D > n; "exact" uses the
 #: true multinomial exponent D.  They coincide whenever D <= n.
-ROW_SPREAD_MODES = ("paper", "exact")
+ROW_SPREAD_MODES = _kernels.ROW_SPREAD_MODES
 
 
 # ----------------------------------------------------------------------
 # Eq. 2: b[i] and the row-spread distribution
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=4096)
 def surjection_count(components: int, rows: int) -> int:
     """The paper's b[i]: ways to place D labelled components in exactly
-    ``rows`` specific rows so no row is empty.
-
-    Computed by the paper's recurrence
-    ``b[i] = i**D - sum_j C(i, j) * b[j]`` (inclusion-exclusion); equals
+    ``rows`` specific rows so no row is empty; equals
     ``i! * Stirling2(D, i)``.
+
+    Computed from the iterative Stirling table of
+    :func:`repro.perf.kernels.surjection_table` — one O(D * i) pass,
+    no recursion, no ``rows**components`` big-integer powers.  The
+    paper's literal recurrence survives as
+    :func:`surjection_count_recurrence`, kept solely as a test oracle.
+    """
+    return _kernels.surjection_count(components, rows)
+
+
+@lru_cache(maxsize=4096)
+def surjection_count_recurrence(components: int, rows: int) -> int:
+    """Test oracle: the paper's recurrence
+    ``b[i] = i**D - sum_j C(i, j) * b[j]`` (inclusion-exclusion),
+    evaluated literally.
+
+    Recursion depth grows with ``rows`` and every level computes a
+    ``rows**components`` power, so this is exponential-flavoured and
+    raises ``RecursionError`` for large inputs — which is exactly why
+    the estimator no longer uses it.  Property tests assert agreement
+    with the iterative table for D, n <= 60.
     """
     _check_positive("components", components)
     _check_positive("rows", rows)
@@ -56,7 +82,9 @@ def surjection_count(components: int, rows: int) -> int:
         return 0
     total = rows ** components
     for smaller in range(1, rows):
-        total -= math.comb(rows, smaller) * surjection_count(components, smaller)
+        total -= math.comb(rows, smaller) * surjection_count_recurrence(
+            components, smaller
+        )
     return total
 
 
@@ -71,35 +99,14 @@ def row_spread_pmf(
     paper's exponent k = min(n, D) and renormalises, reproducing the
     published heuristic; the two agree exactly when D <= n.
     """
-    _check_mode(mode)
-    _check_positive("components", components)
-    _check_positive("rows", rows)
-    max_spread = min(rows, components)
-    if mode == "exact":
-        denominator = rows ** components
-    else:
-        denominator = rows ** max_spread
-    raw = [
-        math.comb(rows, i) * surjection_count(components, i)
-        for i in range(1, max_spread + 1)
-    ]
-    weights = [value / denominator for value in raw]
-    total = sum(weights)
-    if total <= 0:
-        raise EstimationError(
-            f"degenerate row-spread distribution for D={components}, n={rows}"
-        )
-    # Exact mode already sums to 1; renormalising is a no-op there and
-    # repairs the paper mode when D > n.
-    return tuple(weight / total for weight in weights)
+    return _kernels.row_spread_pmf(components, rows, mode)
 
 
 def expected_row_spread(
     components: int, rows: int, mode: str = "paper"
 ) -> float:
     """E(i) of Eq. 3: expected number of rows a net's components occupy."""
-    pmf = row_spread_pmf(components, rows, mode)
-    return sum(i * p for i, p in enumerate(pmf, start=1))
+    return _kernels.expected_row_spread(components, rows, mode)
 
 
 def tracks_for_net(components: int, rows: int, mode: str = "paper") -> int:
@@ -108,9 +115,7 @@ def tracks_for_net(components: int, rows: int, mode: str = "paper") -> int:
     "One net needs at least one track"; a single-component net needs no
     routing at all and returns 0.
     """
-    if components <= 1:
-        return 0
-    return max(1, round_up(expected_row_spread(components, rows, mode)))
+    return _kernels.tracks_for_net(components, rows, mode)
 
 
 def total_expected_tracks(
@@ -153,26 +158,7 @@ def feedthrough_probability(
     ``feedthrough_probability_paper_sum`` evaluates the published double
     sum literally; property tests assert the two agree.
     """
-    _check_positive("components", components)
-    _check_positive("rows", rows)
-    if not 1 <= row <= rows:
-        raise EstimationError(f"row {row} out of range 1..{rows}")
-    if components < 2:
-        # A feed-through needs one component above and one below.
-        return 0.0
-    if row == 1 or row == rows:
-        # No rows strictly above (or below) exist: exactly zero.
-        return 0.0
-    above = (row - 1) / rows
-    below = (rows - row) / rows
-    inside = 1.0 / rows
-    probability = (
-        1.0
-        - (1.0 - above) ** components
-        - (1.0 - below) ** components
-        + inside ** components
-    )
-    return max(0.0, probability)
+    return _kernels.feedthrough_probability(components, rows, row)
 
 
 def feedthrough_probability_paper_sum(
@@ -237,21 +223,7 @@ def central_feedthrough_probability(
     ``model="general"`` evaluates the closed form at i = (n+1)/2 for the
     actual D (Eq. 8); for even n it averages the two central rows.
     """
-    _check_positive("rows", rows)
-    if model == "two-component":
-        return (rows - 1) ** 2 / (2.0 * rows * rows)
-    if model == "general":
-        if rows < 3 or components < 2:
-            return 0.0
-        if rows % 2 == 1:
-            return feedthrough_probability(components, rows, (rows + 1) // 2)
-        low = feedthrough_probability(components, rows, rows // 2)
-        high = feedthrough_probability(components, rows, rows // 2 + 1)
-        return (low + high) / 2.0
-    raise EstimationError(
-        f"unknown feed-through model {model!r} "
-        "(expected 'two-component' or 'general')"
-    )
+    return _kernels.central_feedthrough_probability(rows, components, model)
 
 
 # ----------------------------------------------------------------------
@@ -330,11 +302,3 @@ def simulate_feedthrough_probability(
 def _check_positive(label: str, value: int) -> None:
     if value < 1:
         raise EstimationError(f"{label} must be >= 1, got {value}")
-
-
-def _check_mode(mode: str) -> None:
-    if mode not in ROW_SPREAD_MODES:
-        raise EstimationError(
-            f"unknown row-spread mode {mode!r} (expected one of "
-            f"{ROW_SPREAD_MODES})"
-        )

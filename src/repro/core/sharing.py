@@ -30,11 +30,9 @@ import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-from repro.core.probability import (
-    expected_row_spread,
-    total_expected_tracks,
-)
+from repro.core.probability import total_expected_tracks
 from repro.errors import EstimationError
+from repro.perf.kernels import expected_row_spread
 from repro.units import round_up
 
 

@@ -30,9 +30,9 @@ import math
 from typing import List, Optional, Tuple
 
 from repro.core.config import EstimatorConfig
-from repro.core.probability import (
+from repro.core.probability import expected_feedthroughs
+from repro.perf.kernels import (
     central_feedthrough_probability,
-    expected_feedthroughs,
     tracks_for_net,
 )
 from repro.core.results import StandardCellEstimate
@@ -110,23 +110,28 @@ def sweep_rows(
     process: ProcessDatabase,
     row_counts: Tuple[int, ...],
     config: Optional[EstimatorConfig] = None,
+    jobs: int = 1,
 ) -> List[StandardCellEstimate]:
     """Estimates at several row counts (the paper shows 2-3 per module
     in Table 2; "the area estimate decreased as the number of rows
-    increased")."""
+    increased").
+
+    ``jobs`` > 1 fans the row counts across the batch executor's
+    process pool; results are identical and in ``row_counts`` order
+    either way.
+    """
+    # Deferred: repro.perf.batch imports this module.
+    from repro.perf.batch import estimate_batch
+
     config = config or EstimatorConfig()
-    stats = scan_module(
-        module,
-        device_width=process.device_width,
-        device_height=process.device_height,
-        port_width=config.port_pitch_override or process.port_pitch,
-        power_nets=config.power_nets,
+    results = estimate_batch(
+        [module],
+        process,
+        [config.with_rows(rows) for rows in row_counts],
+        methodologies=("standard-cell",),
+        jobs=jobs,
     )
-    return [
-        estimate_standard_cell_from_stats(stats, process,
-                                          config.with_rows(rows))
-        for rows in row_counts
-    ]
+    return [result.estimate for result in results]
 
 
 def choose_initial_rows(
@@ -154,8 +159,8 @@ def choose_initial_rows(
     row_height = process.row_height
     port_length = stats.total_port_width
 
-    rows = max_rows_bound = 0
     divisor = 2
+    iterations = 0
     while True:
         rows = math.ceil(math.sqrt(area) / (divisor * row_height))
         rows = max(1, min(rows, config.max_rows))
@@ -163,8 +168,8 @@ def choose_initial_rows(
         if rows == 1 or port_length <= row_length:
             return rows
         divisor += 1
-        max_rows_bound += 1
-        if max_rows_bound > 10_000:  # unreachable: rows -> 1 as divisor grows
+        iterations += 1
+        if iterations > 10_000:  # unreachable: rows -> 1 as divisor grows
             raise EstimationError(
                 f"module {stats.module_name!r}: row selection did not converge"
             )

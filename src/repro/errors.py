@@ -51,3 +51,7 @@ class FloorplanError(ReproError):
 
 class DatabaseError(ReproError):
     """The estimate interchange database is malformed."""
+
+
+class BenchmarkError(ReproError):
+    """A perf-trajectory record is malformed or a bench run failed."""

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import EstimatorConfig
-from repro.core.standard_cell import estimate_standard_cell, sweep_rows
+from repro.core.standard_cell import sweep_rows
 from repro.layout.annealing import timberwolf_1988_schedule
 from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.perf.batch import estimate_batch
 from repro.reporting import format_percent, render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -53,27 +54,44 @@ class SharingPoint:
 def run_track_sharing_ablation(
     factors: Sequence[float] = (1.0, 0.75, 0.5, 0.35, 0.25),
     process: Optional[ProcessDatabase] = None,
+    jobs: int = 1,
 ) -> List[SharingPoint]:
-    """A1: sweep the sharing correction factor over the Table 2 suite."""
+    """A1: sweep the sharing correction factor over the Table 2 suite.
+
+    All (case x factor) estimates — plus the baseline and the Section 7
+    analytic model — come from one :func:`estimate_batch` call; only
+    the layout oracle runs serially per case.
+    """
     process = process or nmos_process()
     schedule = timberwolf_1988_schedule()
+    cases = table2_suite()
+    # Per case: baseline, one config per factor, then the analytic model.
+    batch = iter(estimate_batch(
+        [case.module for case in cases],
+        process,
+        [
+            [EstimatorConfig(rows=case.row_counts[0])]
+            + [EstimatorConfig(rows=case.row_counts[0],
+                               track_sharing_factor=factor)
+               for factor in factors]
+            + [EstimatorConfig(rows=case.row_counts[0],
+                               track_model="shared")]
+            for case in cases
+        ],
+        methodologies=("standard-cell",),
+        jobs=jobs,
+    ))
     points: List[SharingPoint] = []
-    for case in table2_suite():
+    for case in cases:
         rows = case.row_counts[0]
         real = layout_standard_cell(
             case.module, process, rows=rows, seed=case.seed,
             schedule=schedule, constrained_routing=True,
         )
-        base = estimate_standard_cell(
-            case.module, process, EstimatorConfig(rows=rows)
-        )
+        base = next(batch).estimate
         ideal = real.tracks / base.tracks if base.tracks else 1.0
         for factor in factors:
-            estimate = estimate_standard_cell(
-                case.module,
-                process,
-                EstimatorConfig(rows=rows, track_sharing_factor=factor),
-            )
+            estimate = next(batch).estimate
             points.append(
                 SharingPoint(
                     module_name=case.module.name,
@@ -86,10 +104,7 @@ def run_track_sharing_ablation(
                 )
             )
         # The Section 7 analytic model, for comparison with the sweep.
-        analytic = estimate_standard_cell(
-            case.module, process,
-            EstimatorConfig(rows=rows, track_model="shared"),
-        )
+        analytic = next(batch).estimate
         points.append(
             SharingPoint(
                 module_name=case.module.name,
@@ -137,12 +152,14 @@ class RowSweepPoint:
 def run_row_sweep(
     row_range: Sequence[int] = tuple(range(2, 11)),
     process: Optional[ProcessDatabase] = None,
+    jobs: int = 1,
 ) -> List[RowSweepPoint]:
     """A3: estimate-vs-rows curves for the Table 2 modules."""
     process = process or nmos_process()
     points: List[RowSweepPoint] = []
     for case in table2_suite():
-        for estimate in sweep_rows(case.module, process, tuple(row_range)):
+        for estimate in sweep_rows(case.module, process, tuple(row_range),
+                                   jobs=jobs):
             points.append(
                 RowSweepPoint(
                     module_name=case.module.name,
@@ -182,15 +199,22 @@ class OracleQualityPoint:
 def run_oracle_quality_ablation(
     process: Optional[ProcessDatabase] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[OracleQualityPoint]:
     """Overestimate vs oracle quality (1988 schedule vs modern anneal)."""
     process = process or nmos_process()
+    cases = table2_suite()
+    batch = iter(estimate_batch(
+        [case.module for case in cases],
+        process,
+        [[EstimatorConfig(rows=case.row_counts[0])] for case in cases],
+        methodologies=("standard-cell",),
+        jobs=jobs,
+    ))
     points: List[OracleQualityPoint] = []
-    for case in table2_suite():
+    for case in cases:
         rows = case.row_counts[0]
-        estimate = estimate_standard_cell(
-            case.module, process, EstimatorConfig(rows=rows)
-        )
+        estimate = next(batch).estimate
         real_1988 = layout_standard_cell(
             case.module, process, rows=rows, seed=case.seed,
             schedule=timberwolf_1988_schedule(), constrained_routing=True,

@@ -12,8 +12,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import EstimatorConfig
-from repro.core.full_custom import estimate_full_custom_both
 from repro.layout.full_custom_flow import layout_full_custom
+from repro.perf.batch import estimate_batch
 from repro.reporting import format_percent, render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -53,16 +53,32 @@ def run_table1(
     process: Optional[ProcessDatabase] = None,
     cases: Optional[List[Table1Case]] = None,
     config: Optional[EstimatorConfig] = None,
+    jobs: int = 1,
 ) -> List[Table1Row]:
-    """Run the Table 1 experiment and return its rows."""
+    """Run the Table 1 experiment and return its rows.
+
+    Both estimate columns (exact and average device areas) for all
+    modules come from one :func:`estimate_batch` call — ``jobs`` fans
+    them across a process pool; the layout oracle runs serially.
+    """
     process = process or nmos_process()
     cases = cases if cases is not None else table1_suite()
     config = config or EstimatorConfig()
 
+    batch = estimate_batch(
+        [case.module for case in cases],
+        process,
+        [config.with_(device_area_mode="exact"),
+         config.with_(device_area_mode="average")],
+        methodologies=("full-custom",),
+        jobs=jobs,
+    )
+
     rows: List[Table1Row] = []
-    for case in cases:
+    for index, case in enumerate(cases):
         module = case.module
-        exact, average = estimate_full_custom_both(module, process, config)
+        exact = batch[2 * index].estimate
+        average = batch[2 * index + 1].estimate
         real = layout_full_custom(module, process, seed=case.seed,
                                   config=config)
         rows.append(

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import EstimatorConfig
-from repro.core.standard_cell import estimate_standard_cell
 from repro.layout.annealing import AnnealingSchedule, timberwolf_1988_schedule
 from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.perf.batch import estimate_batch
 from repro.reporting import format_percent, render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -53,20 +53,33 @@ def run_table2(
     config: Optional[EstimatorConfig] = None,
     oracle_schedule: Optional[AnnealingSchedule] = None,
     constrained_routing: bool = True,
+    jobs: int = 1,
 ) -> List[Table2Row]:
-    """Run the Table 2 experiment and return its rows."""
+    """Run the Table 2 experiment and return its rows.
+
+    The (module x row count) estimates come from one
+    :func:`estimate_batch` call (``jobs`` controls its process pool);
+    the place-and-route oracle runs serially per row.
+    """
     process = process or nmos_process()
     cases = cases if cases is not None else table2_suite()
     config = config or EstimatorConfig()
     oracle_schedule = oracle_schedule or timberwolf_1988_schedule()
 
+    batch = iter(estimate_batch(
+        [case.module for case in cases],
+        process,
+        [[config.with_rows(row_count) for row_count in case.row_counts]
+         for case in cases],
+        methodologies=("standard-cell",),
+        jobs=jobs,
+    ))
+
     rows: List[Table2Row] = []
     for case in cases:
         module = case.module
         for row_count in case.row_counts:
-            estimate = estimate_standard_cell(
-                module, process, config.with_rows(row_count)
-            )
+            estimate = next(batch).estimate
             real = layout_standard_cell(
                 module,
                 process,

@@ -1,0 +1,58 @@
+"""Performance subsystem: shared kernels, batch execution, benchmarks.
+
+The paper sells the estimator on speed ("a modest amount of computer
+time": < 1.5 CPU s full-custom, < 3 CPU s standard-cell per module on a
+Sun 3/50), and the floor-planning use case — re-estimating every module
+of a chip at every candidate row count on every floorplan iteration —
+multiplies that per-call cost by thousands.  This package keeps the
+estimators' *math* untouched while removing the repeated work:
+
+* :mod:`repro.perf.kernels` — process-wide memoization of the pure
+  combinatorial kernels (Eqs. 2-3 row-spread PMFs, Eq. 3 track counts,
+  Eqs. 8-9 central feed-through probabilities) plus an iterative
+  Stirling-table surjection count, with hit/miss statistics for
+  observability.
+* :mod:`repro.perf.batch` — ``estimate_batch``: scan each module once
+  and fan (module x config x methodology) estimation tasks across a
+  process pool, with a deterministic serial path at ``jobs=1`` that is
+  bit-identical to the per-call estimators.
+* :mod:`repro.perf.bench` — the perf-trajectory harness that times the
+  Table 1/2 suites and a large synthetic sweep and writes
+  ``BENCH_batch_engine.json`` so every future PR's speedups (or
+  regressions) land in a machine-readable trajectory.
+"""
+
+from repro.perf.kernels import (
+    CacheStats,
+    cache_enabled,
+    caches_disabled,
+    clear_kernel_caches,
+    kernel_cache_stats,
+    set_cache_enabled,
+)
+
+#: Batch-executor symbols are re-exported lazily (PEP 562):
+#: repro.perf.batch imports the estimators, which import
+#: repro.perf.kernels — an eager import here would be circular.
+_BATCH_EXPORTS = ("BatchResult", "BatchTask", "estimate_batch")
+
+
+def __getattr__(name):
+    if name in _BATCH_EXPORTS:
+        from repro.perf import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BatchResult",
+    "BatchTask",
+    "CacheStats",
+    "cache_enabled",
+    "caches_disabled",
+    "clear_kernel_caches",
+    "estimate_batch",
+    "kernel_cache_stats",
+    "set_cache_enabled",
+]

@@ -1,0 +1,244 @@
+"""Batch/parallel front door for the estimators.
+
+The floor-planning regime (PAPERS.md: running an area estimator inside
+floorplan iteration over thousands of candidate configurations) calls
+the per-module estimators in large, regular patterns:
+(module x row-count x methodology).  Calling
+:func:`~repro.core.standard_cell.estimate_standard_cell` once per
+triple repeats two kinds of work — the schematic scan (once per call
+instead of once per module) and the probability kernels (now shared
+process-wide via :mod:`repro.perf.kernels`).
+
+:func:`estimate_batch` removes both and adds parallelism:
+
+* each module is scanned **once** per distinct scan signature (port
+  pitch override, power-net list) and the scan is reused across every
+  row count and methodology;
+* at ``jobs=1`` the whole batch runs serially in-process — the
+  deterministic reference path, bit-identical to per-call estimation;
+* at ``jobs>1`` the per-module task groups fan out across a
+  ``concurrent.futures`` process pool.  Results are collected in
+  submission order, so the output is identical to the serial path,
+  element for element, regardless of worker scheduling.
+
+The sweep helpers (``sweep_rows``, Table 1/2 drivers, the ablations,
+and the ``--jobs`` CLI flag) all route through here.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import estimate_full_custom
+from repro.core.results import FullCustomEstimate, StandardCellEstimate
+from repro.core.standard_cell import estimate_standard_cell_from_stats
+from repro.errors import EstimationError
+from repro.netlist.model import Module
+from repro.netlist.stats import ModuleStatistics, scan_module
+from repro.technology.process import ProcessDatabase
+
+#: Methodologies the batch executor understands.
+BATCH_METHODOLOGIES = ("standard-cell", "full-custom")
+
+Estimate = Union[StandardCellEstimate, FullCustomEstimate]
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One (module, methodology, config) estimation triple."""
+
+    module_index: int
+    module_name: str
+    methodology: str
+    config: EstimatorConfig
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """A task together with its estimate."""
+
+    task: BatchTask
+    estimate: Estimate
+
+
+def estimate_batch(
+    modules: Sequence[Module],
+    process: ProcessDatabase,
+    configs: Union[
+        EstimatorConfig,
+        Sequence[EstimatorConfig],
+        Sequence[Sequence[EstimatorConfig]],
+    ],
+    methodologies: Iterable[str] = ("standard-cell",),
+    jobs: int = 1,
+) -> List[BatchResult]:
+    """Estimate every (module x methodology x config) combination.
+
+    Parameters
+    ----------
+    modules:
+        The modules to estimate.  Each is scanned once per distinct
+        scan signature, no matter how many configs it is estimated at.
+    configs:
+        A single :class:`EstimatorConfig` (applied to every module), a
+        flat sequence of configs (cross product with every module), or
+        a per-module sequence of config sequences (``len(configs) ==
+        len(modules)`` — row-count sweeps where the tabulated counts
+        differ per module).
+    methodologies:
+        Subset of ``("standard-cell", "full-custom")``.
+    jobs:
+        ``1`` (default) runs serially in-process; ``> 1`` fans
+        per-module task groups across a process pool of that many
+        workers (clamped to the host's core count and the number of
+        modules).  Output order and values are identical either way.
+
+    Returns
+    -------
+    One :class:`BatchResult` per triple, ordered by module, then
+    methodology (in the order given), then config (in the order given).
+    """
+    methodologies = tuple(methodologies)
+    if not methodologies:
+        raise EstimationError("at least one methodology is required")
+    unknown = set(methodologies) - set(BATCH_METHODOLOGIES)
+    if unknown:
+        raise EstimationError(
+            f"unknown methodologies {sorted(unknown)}; expected a subset "
+            f"of {BATCH_METHODOLOGIES}"
+        )
+    if jobs < 1:
+        raise EstimationError(f"jobs must be >= 1, got {jobs}")
+
+    modules = list(modules)
+    per_module_configs = _normalise_configs(modules, configs)
+    groups = [
+        (module, process, methodologies, module_configs)
+        for module, module_configs in zip(modules, per_module_configs)
+    ]
+
+    # Worker processes beyond the physical core count (or the group
+    # count) are pure spawn/pickle overhead, so clamp before deciding
+    # whether a pool is worth starting at all — on a single-core host
+    # every jobs value degrades to the fast in-process path.
+    workers = min(jobs, os.cpu_count() or 1, len(groups))
+    if workers <= 1:
+        estimate_lists = [_estimate_module_group(group) for group in groups]
+    else:
+        estimate_lists = _run_pool(groups, workers)
+
+    results: List[BatchResult] = []
+    for module_index, (module, module_configs, estimates) in enumerate(
+        zip(modules, per_module_configs, estimate_lists)
+    ):
+        cursor = iter(estimates)
+        for methodology in methodologies:
+            for config in module_configs:
+                results.append(
+                    BatchResult(
+                        task=BatchTask(
+                            module_index=module_index,
+                            module_name=module.name,
+                            methodology=methodology,
+                            config=config,
+                        ),
+                        estimate=next(cursor),
+                    )
+                )
+    return results
+
+
+def _run_pool(groups: list, workers: int) -> List[List[Estimate]]:
+    """Fan the per-module groups across a process pool.
+
+    Futures are collected in submission order, so results line up with
+    the serial path exactly.  If the platform cannot start worker
+    processes (no /dev/shm, sandboxed fork, ...), the batch silently
+    degrades to the serial path rather than failing the sweep.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_estimate_module_group, group) for group in groups
+            ]
+            return [future.result() for future in futures]
+    except (OSError, PermissionError, ImportError):
+        return [_estimate_module_group(group) for group in groups]
+
+
+def _estimate_module_group(group) -> List[Estimate]:
+    """Worker: all (methodology x config) estimates for one module.
+
+    Runs in a pool worker at ``jobs>1`` and inline at ``jobs=1``; the
+    schematic scan is shared across every config with the same scan
+    signature, and kernel-cache entries are shared process-wide.
+    """
+    module, process, methodologies, configs = group
+    scans: dict = {}
+
+    def stats_for(config: EstimatorConfig) -> ModuleStatistics:
+        key = (config.port_pitch_override, config.power_nets)
+        if key not in scans:
+            scans[key] = scan_module(
+                module,
+                device_width=process.device_width,
+                device_height=process.device_height,
+                port_width=config.port_pitch_override or process.port_pitch,
+                power_nets=config.power_nets,
+            )
+        return scans[key]
+
+    estimates: List[Estimate] = []
+    for methodology in methodologies:
+        for config in configs:
+            if methodology == "standard-cell":
+                estimates.append(
+                    estimate_standard_cell_from_stats(
+                        stats_for(config), process, config
+                    )
+                )
+            else:
+                estimates.append(
+                    estimate_full_custom(
+                        module, process, config, stats=stats_for(config)
+                    )
+                )
+    return estimates
+
+
+def _normalise_configs(
+    modules: Sequence[Module],
+    configs,
+) -> List[Tuple[EstimatorConfig, ...]]:
+    """Expand the three accepted ``configs`` shapes to one tuple of
+    configs per module."""
+    if isinstance(configs, EstimatorConfig):
+        return [(configs,) for _ in modules]
+    configs = list(configs)
+    if not configs:
+        raise EstimationError("at least one config is required")
+    if all(isinstance(c, EstimatorConfig) for c in configs):
+        shared = tuple(configs)
+        return [shared for _ in modules]
+    # Per-module nesting: a sequence of config sequences.
+    if len(configs) != len(modules):
+        raise EstimationError(
+            f"per-module configs: expected {len(modules)} groups, "
+            f"got {len(configs)}"
+        )
+    per_module: List[Tuple[EstimatorConfig, ...]] = []
+    for index, group in enumerate(configs):
+        group = tuple(group)
+        if not group or not all(
+            isinstance(c, EstimatorConfig) for c in group
+        ):
+            raise EstimationError(
+                f"per-module configs for module {index} must be a "
+                "non-empty sequence of EstimatorConfig"
+            )
+        per_module.append(group)
+    return per_module

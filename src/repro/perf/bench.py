@@ -1,0 +1,480 @@
+"""Perf-trajectory harness for the batch estimation engine.
+
+Every PR that touches a hot path should leave a machine-readable mark.
+This harness times three workloads —
+
+* the Table 1 suite (full-custom, both device-area modes),
+* the Table 2 suite (standard-cell, the tabulated row counts),
+* a large synthetic sweep (>= 50 generated modules x 8 row counts,
+  the floorplan-iteration regime the batch engine exists for)
+
+— under three execution paths:
+
+* **seed serial**: one estimator call per (module, config) with kernel
+  memoization disabled, re-scanning the schematic every call — the
+  repository's original behaviour;
+* **batch jobs=1**: :func:`repro.perf.batch.estimate_batch` on one
+  process, kernel caches warm — isolates the caching/scan-sharing win;
+* **batch jobs=N**: the same batch across a process pool.
+
+It asserts the three paths produce bit-identical estimates, captures
+kernel-cache hit rates, and writes everything to
+``BENCH_batch_engine.json`` (schema-validated, so a malformed
+trajectory file fails fast instead of silently polluting the record).
+
+Run it via ``mae bench``, the ``mae-bench`` console script, or
+``python benchmarks/run_benchmarks.py``; ``--smoke`` keeps CI fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import estimate_full_custom_both
+from repro.core.standard_cell import estimate_standard_cell
+from repro.errors import BenchmarkError
+from repro.netlist.model import Module
+from repro.perf.batch import estimate_batch
+from repro.perf.kernels import (
+    caches_disabled,
+    clear_kernel_caches,
+    kernel_cache_stats,
+)
+from repro.reporting import render_table
+from repro.technology.libraries import nmos_process
+from repro.technology.process import ProcessDatabase
+from repro.workloads.generators import (
+    adder_module,
+    counter_module,
+    decoder_module,
+    lfsr_module,
+    mux_tree_module,
+    random_gate_module,
+    register_file_module,
+)
+from repro.workloads.suites import table1_suite, table2_suite
+
+SCHEMA_VERSION = 1
+BENCH_NAME = "batch_engine"
+DEFAULT_OUTPUT = "BENCH_batch_engine.json"
+
+#: Row counts for the synthetic sweep: 8 counts, the Table 2 ballpark.
+SWEEP_ROW_COUNTS: Tuple[int, ...] = tuple(range(2, 10))
+
+
+# ----------------------------------------------------------------------
+# synthetic workload
+# ----------------------------------------------------------------------
+def synthetic_sweep_modules(count: int = 50, seed: int = 7) -> List[Module]:
+    """A deterministic mixed-family population of gate-level modules.
+
+    Cycles through every workload generator family so the sweep covers
+    local datapaths, global control logic, and the stress cases
+    (LFSR feedback nets, register-file fan-out); sizes grow with the
+    module index so the population spans small to moderate modules,
+    like the paper's suites.
+    """
+    if count < 1:
+        raise BenchmarkError(f"module count must be >= 1, got {count}")
+    modules: List[Module] = []
+    for index in range(count):
+        scale = index // 8  # grows every full cycle through the families
+        family = index % 8
+        name = f"sweep_{index:03d}"
+        if family == 0:
+            modules.append(random_gate_module(
+                name, gates=40 + 12 * scale, inputs=6 + scale,
+                outputs=4 + scale, seed=seed + index, locality=0.8,
+            ))
+        elif family == 1:
+            modules.append(random_gate_module(
+                name, gates=30 + 10 * scale, inputs=8 + scale,
+                outputs=6, seed=seed + index, locality=0.2,
+            ))
+        elif family == 2:
+            modules.append(adder_module(name, bits=8 + 4 * scale))
+        elif family == 3:
+            modules.append(counter_module(name, bits=8 + 4 * scale))
+        elif family == 4:
+            modules.append(decoder_module(name, address_bits=3 + scale % 3))
+        elif family == 5:
+            modules.append(mux_tree_module(name, select_bits=3 + scale % 3))
+        elif family == 6:
+            modules.append(lfsr_module(name, bits=8 + 6 * scale))
+        else:
+            modules.append(register_file_module(
+                name, words=4 + scale, bits=4 + scale,
+            ))
+    return modules
+
+
+# ----------------------------------------------------------------------
+# the bench itself
+# ----------------------------------------------------------------------
+def run_bench(
+    jobs: int = 4,
+    module_count: int = 50,
+    row_counts: Sequence[int] = SWEEP_ROW_COUNTS,
+    process: Optional[ProcessDatabase] = None,
+    smoke: bool = False,
+) -> dict:
+    """Run every phase and return the trajectory record (a JSON-ready
+    dict; see :func:`validate_bench_record` for the schema)."""
+    if smoke:
+        module_count = min(module_count, 8)
+        row_counts = tuple(row_counts)[:3]
+    row_counts = tuple(row_counts)
+    process = process or nmos_process()
+    phases: List[dict] = []
+    equivalence: Dict[str, bool] = {}
+
+    def timed(name: str, items: int, func):
+        start = time.perf_counter()
+        value = func()
+        seconds = time.perf_counter() - start
+        phases.append(
+            {"name": name, "seconds": seconds, "items": items}
+        )
+        return value
+
+    # ---- Table 1 suite: full-custom, both device-area modes ----------
+    t1_cases = table1_suite()
+    t1_modules = [case.module for case in t1_cases]
+
+    def t1_seed():
+        with caches_disabled():
+            results = []
+            for module in t1_modules:
+                exact, average = estimate_full_custom_both(module, process)
+                results.extend((exact, average))
+            return results
+
+    def t1_batch():
+        config = EstimatorConfig()
+        batch = estimate_batch(
+            t1_modules,
+            process,
+            [config.with_(device_area_mode="exact"),
+             config.with_(device_area_mode="average")],
+            methodologies=("full-custom",),
+            jobs=1,
+        )
+        return [result.estimate for result in batch]
+
+    clear_kernel_caches()
+    t1_seed_estimates = timed("table1_seed_serial", 2 * len(t1_modules),
+                              t1_seed)
+    t1_batch_estimates = timed("table1_batch_jobs1", 2 * len(t1_modules),
+                               t1_batch)
+    equivalence["table1"] = t1_seed_estimates == t1_batch_estimates
+
+    # ---- Table 2 suite: standard-cell at the tabulated row counts ----
+    t2_cases = table2_suite()
+    t2_items = sum(len(case.row_counts) for case in t2_cases)
+
+    def t2_seed():
+        with caches_disabled():
+            return [
+                estimate_standard_cell(
+                    case.module, process, EstimatorConfig(rows=row_count)
+                )
+                for case in t2_cases
+                for row_count in case.row_counts
+            ]
+
+    def t2_batch():
+        batch = estimate_batch(
+            [case.module for case in t2_cases],
+            process,
+            [[EstimatorConfig(rows=row_count)
+              for row_count in case.row_counts] for case in t2_cases],
+            methodologies=("standard-cell",),
+            jobs=1,
+        )
+        return [result.estimate for result in batch]
+
+    clear_kernel_caches()
+    t2_seed_estimates = timed("table2_seed_serial", t2_items, t2_seed)
+    clear_kernel_caches()
+    t2_batch_estimates = timed("table2_batch_jobs1", t2_items, t2_batch)
+    equivalence["table2"] = t2_seed_estimates == t2_batch_estimates
+
+    # ---- large synthetic sweep ---------------------------------------
+    sweep = synthetic_sweep_modules(module_count)
+    sweep_configs = [EstimatorConfig(rows=rows) for rows in row_counts]
+    sweep_items = len(sweep) * len(row_counts)
+
+    def sweep_seed():
+        # The original path: one estimator call per (module, rows),
+        # re-scanning each time, no cross-call kernel memoization.
+        with caches_disabled():
+            return [
+                estimate_standard_cell(module, process, config)
+                for module in sweep
+                for config in sweep_configs
+            ]
+
+    def sweep_batch(n_jobs: int):
+        batch = estimate_batch(
+            sweep, process, sweep_configs,
+            methodologies=("standard-cell",), jobs=n_jobs,
+        )
+        return [result.estimate for result in batch]
+
+    clear_kernel_caches()
+    seed_estimates = timed("synthetic_seed_serial", sweep_items, sweep_seed)
+    clear_kernel_caches()
+    batch1_estimates = timed("synthetic_batch_jobs1", sweep_items,
+                             lambda: sweep_batch(1))
+    cache_snapshot = {
+        name: {"hits": stats.hits, "misses": stats.misses,
+               "entries": stats.entries,
+               "hit_rate": round(stats.hit_rate, 4)}
+        for name, stats in kernel_cache_stats().items()
+    }
+    equivalence["synthetic_jobs1"] = seed_estimates == batch1_estimates
+    if jobs > 1:
+        clear_kernel_caches()
+        batchn_estimates = timed(f"synthetic_batch_jobs{jobs}", sweep_items,
+                                 lambda: sweep_batch(jobs))
+        equivalence[f"synthetic_jobs{jobs}"] = (
+            seed_estimates == batchn_estimates
+        )
+
+    timings = {phase["name"]: phase["seconds"] for phase in phases}
+    speedups = {
+        "table1_batch_jobs1_vs_seed": _ratio(
+            timings["table1_seed_serial"], timings["table1_batch_jobs1"]
+        ),
+        "table2_batch_jobs1_vs_seed": _ratio(
+            timings["table2_seed_serial"], timings["table2_batch_jobs1"]
+        ),
+        "synthetic_batch_jobs1_vs_seed": _ratio(
+            timings["synthetic_seed_serial"],
+            timings["synthetic_batch_jobs1"],
+        ),
+    }
+    if jobs > 1:
+        speedups[f"synthetic_batch_jobs{jobs}_vs_seed"] = _ratio(
+            timings["synthetic_seed_serial"],
+            timings[f"synthetic_batch_jobs{jobs}"],
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": BENCH_NAME,
+        "created_unix": time.time(),
+        "smoke": smoke,
+        "jobs": jobs,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "workload": {
+            "synthetic_modules": len(sweep),
+            "synthetic_row_counts": list(row_counts),
+            "table1_cases": len(t1_modules),
+            "table2_cases": len(t2_cases),
+        },
+        "phases": phases,
+        "speedups": speedups,
+        "cache": {"kernels": cache_snapshot},
+        "equivalence": equivalence,
+    }
+
+
+def _ratio(baseline: float, candidate: float) -> float:
+    if candidate <= 0:
+        return float(baseline > 0)
+    return baseline / candidate
+
+
+# ----------------------------------------------------------------------
+# schema validation and I/O
+# ----------------------------------------------------------------------
+def validate_bench_record(record: dict) -> None:
+    """Raise :class:`BenchmarkError` unless ``record`` is a well-formed
+    trajectory record with all equivalence checks passing."""
+    if not isinstance(record, dict):
+        raise BenchmarkError("bench record must be a JSON object")
+    if record.get("schema_version") != SCHEMA_VERSION:
+        raise BenchmarkError(
+            f"unsupported schema_version {record.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    _require(record, "benchmark", str)
+    _require(record, "created_unix", (int, float))
+    _require(record, "smoke", bool)
+    jobs = _require(record, "jobs", int)
+    if jobs < 1:
+        raise BenchmarkError(f"jobs must be >= 1, got {jobs}")
+
+    phases = _require(record, "phases", list)
+    if not phases:
+        raise BenchmarkError("phases must be non-empty")
+    for phase in phases:
+        if not isinstance(phase, dict):
+            raise BenchmarkError(f"phase entries must be objects: {phase!r}")
+        _require(phase, "name", str, context="phase")
+        seconds = _require(phase, "seconds", (int, float), context="phase")
+        if seconds < 0:
+            raise BenchmarkError(f"phase seconds must be >= 0, got {seconds}")
+        items = _require(phase, "items", int, context="phase")
+        if items < 1:
+            raise BenchmarkError(f"phase items must be >= 1, got {items}")
+
+    speedups = _require(record, "speedups", dict)
+    if not speedups:
+        raise BenchmarkError("speedups must be non-empty")
+    for name, value in speedups.items():
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise BenchmarkError(
+                f"speedup {name!r} must be a positive number, got {value!r}"
+            )
+
+    cache = _require(record, "cache", dict)
+    kernels = _require(cache, "kernels", dict, context="cache")
+    for name, stats in kernels.items():
+        if not isinstance(stats, dict):
+            raise BenchmarkError(f"cache stats for {name!r} must be objects")
+        for field in ("hits", "misses", "entries"):
+            value = _require(stats, field, int, context=f"cache[{name}]")
+            if value < 0:
+                raise BenchmarkError(
+                    f"cache[{name}].{field} must be >= 0, got {value}"
+                )
+
+    equivalence = _require(record, "equivalence", dict)
+    if not equivalence:
+        raise BenchmarkError("equivalence must be non-empty")
+    for name, flag in equivalence.items():
+        if not isinstance(flag, bool):
+            raise BenchmarkError(
+                f"equivalence[{name!r}] must be a bool, got {flag!r}"
+            )
+        if not flag:
+            raise BenchmarkError(
+                f"equivalence check {name!r} failed: batch results are not "
+                "bit-identical to the seed path"
+            )
+
+
+def _require(record: dict, key: str, types, context: str = "record"):
+    if key not in record:
+        raise BenchmarkError(f"{context} is missing required key {key!r}")
+    value = record[key]
+    # bool is an int subclass; reject it where an int/float is required.
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise BenchmarkError(f"{context}[{key!r}] must not be a bool")
+    if not isinstance(value, types):
+        raise BenchmarkError(
+            f"{context}[{key!r}] has type {type(value).__name__}, "
+            f"expected {types}"
+        )
+    return value
+
+
+def write_bench_record(record: dict, path: Union[str, Path, None] = None) -> Path:
+    """Validate and write the record; returns the destination path."""
+    validate_bench_record(record)
+    path = Path(path) if path else Path(DEFAULT_OUTPUT)
+    try:
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        raise BenchmarkError(
+            f"cannot write bench record {path}: {exc}"
+        ) from exc
+    return path
+
+
+def load_bench_record(path: Union[str, Path]) -> dict:
+    """Read and validate a trajectory record; fails fast when malformed."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchmarkError(f"cannot read bench record {path}: {exc}") from exc
+    validate_bench_record(record)
+    return record
+
+
+def format_bench_record(record: dict) -> str:
+    """Human-readable phase/speedup summary of a trajectory record."""
+    headers = ("Phase", "Items", "Seconds", "Per item (ms)")
+    body = [
+        (
+            phase["name"],
+            phase["items"],
+            f"{phase['seconds']:.3f}",
+            f"{1000.0 * phase['seconds'] / phase['items']:.3f}",
+        )
+        for phase in record["phases"]
+    ]
+    table = render_table(
+        headers, body,
+        title=f"Batch-engine perf trajectory "
+              f"(jobs={record['jobs']}, smoke={record['smoke']})",
+    )
+    speedups = ", ".join(
+        f"{name} = {value:.2f}x"
+        for name, value in sorted(record["speedups"].items())
+    )
+    hit_rates = ", ".join(
+        f"{name} {stats['hit_rate']:.0%}"
+        for name, stats in sorted(record["cache"]["kernels"].items())
+    )
+    return (
+        f"{table}\nspeedups: {speedups}\n"
+        f"kernel-cache hit rates (jobs=1 sweep): {hit_rates}"
+    )
+
+
+# ----------------------------------------------------------------------
+# console entry point (``mae-bench`` / benchmarks/run_benchmarks.py)
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mae-bench",
+        description="Run the batch-engine benchmark suite and write the "
+                    "BENCH_batch_engine.json perf-trajectory record.",
+    )
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker processes for the parallel phase "
+                             "(default: 4)")
+    parser.add_argument("--modules", type=int, default=50, metavar="M",
+                        help="synthetic sweep population (default: 50)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run for CI: exercises every phase and "
+                             "validates the record, no timing claims")
+    parser.add_argument("--output", default=None,
+                        help=f"destination JSON (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    try:
+        record = run_bench(jobs=args.jobs, module_count=args.modules,
+                           smoke=args.smoke)
+        path = write_bench_record(record, args.output)
+        # Round-trip through the validator so a malformed file on disk
+        # fails here, not in the next PR's trajectory tooling.
+        load_bench_record(path)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_bench_record(record))
+    print(f"trajectory record written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

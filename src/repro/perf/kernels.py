@@ -1,0 +1,343 @@
+"""Process-wide memoized probability kernels.
+
+Every standard-cell estimate evaluates the same small family of pure
+combinatorial functions — the Eq. 2-3 row-spread distribution, the
+Eq. 3 per-net track count, and the Eq. 8-9 central feed-through
+probability — keyed only by (net size D, row count n) and a mode
+string.  Across a sweep (many row counts per module, many modules per
+chip, thousands of floorplan iterations) the same keys recur endlessly,
+so these kernels are memoized once per process and shared by every
+estimator call.
+
+Two guarantees:
+
+* **Bit-identical results.**  The cached implementations perform the
+  same arithmetic, in the same order, as the original
+  :mod:`repro.core.probability` closed forms; a cache hit returns the
+  very float the uncached path would have produced.  Tests assert
+  equality with caches on and off.
+* **No recursion.**  The paper's b[i] recurrence is replaced by an
+  iterative Stirling-table pass (:func:`surjection_table`) that
+  computes all of b[1..limit] in one O(D * limit) sweep — no
+  ``RecursionError`` for large D or n, and no repeated
+  ``rows**components`` big-integer powers.  The literal recurrence
+  survives only as a test oracle
+  (:func:`repro.core.probability.surjection_count_recurrence`).
+
+Cache statistics (hits/misses/entries per kernel) are exposed through
+:func:`kernel_cache_stats` so benchmarks and long-running services can
+observe hit rates; :func:`set_cache_enabled` /
+:func:`caches_disabled` exist for baseline measurements and
+equivalence tests.  Caches are per-process: worker processes spawned by
+:mod:`repro.perf.batch` each warm their own.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.errors import EstimationError
+from repro.units import round_up
+
+#: Row-spread probability modes (see :mod:`repro.core.probability`):
+#: the paper's Eq. 2 exponent k = min(n, D) vs the exact multinomial.
+ROW_SPREAD_MODES = ("paper", "exact")
+
+
+# ----------------------------------------------------------------------
+# cache infrastructure
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheStats:
+    """Observability snapshot for one kernel cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Kernel:
+    """Memoizing wrapper around one pure kernel function.
+
+    A plain dict keyed by the positional argument tuple; unlike
+    ``functools.lru_cache`` it exposes hit/miss counters, can be
+    disabled globally (for baseline timings and equivalence tests),
+    and never evicts — the key space is tiny (net sizes x row counts).
+    """
+
+    __slots__ = ("func", "name", "cache", "hits", "misses")
+
+    def __init__(self, func: Callable):
+        self.func = func
+        self.name = func.__name__.lstrip("_")
+        self.cache: Dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, *key):
+        if not _cache_state["enabled"]:
+            self.misses += 1
+            return self.func(*key)
+        try:
+            value = self.cache[key]
+        except KeyError:
+            self.misses += 1
+            value = self.func(*key)
+            self.cache[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self.cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(self.hits, self.misses, len(self.cache))
+
+
+_cache_state = {"enabled": True}
+_KERNELS: Dict[str, _Kernel] = {}
+
+
+def _kernel(func: Callable) -> _Kernel:
+    wrapper = _Kernel(func)
+    _KERNELS[wrapper.name] = wrapper
+    return wrapper
+
+
+def kernel_cache_stats() -> Dict[str, CacheStats]:
+    """Hits/misses/entries for every kernel cache in this process."""
+    return {name: kernel.stats() for name, kernel in sorted(_KERNELS.items())}
+
+
+def clear_kernel_caches() -> None:
+    """Drop all cached values and reset the counters."""
+    for kernel in _KERNELS.values():
+        kernel.clear()
+
+
+def cache_enabled() -> bool:
+    """Whether kernel memoization is currently active."""
+    return _cache_state["enabled"]
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Turn memoization on or off; returns the previous setting.
+
+    Disabling does not drop existing entries — re-enabling resumes
+    hitting them.  Used by the benchmark harness to time the uncached
+    seed path and by equivalence tests.
+    """
+    previous = _cache_state["enabled"]
+    _cache_state["enabled"] = bool(enabled)
+    return previous
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Context manager: run a block with kernel memoization off."""
+    previous = set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Eq. 2: surjection counts via an iterative Stirling table
+# ----------------------------------------------------------------------
+def _surjection_table(components: int, limit: int) -> Tuple[int, ...]:
+    _check_positive("components", components)
+    _check_positive("limit", limit)
+    # One in-place pass over the Stirling recurrence
+    # S(d, i) = i * S(d-1, i) + S(d-1, i-1), descending i so the
+    # previous row's S(d-1, i-1) is still in place when read.
+    stirling = [0] * (limit + 1)
+    stirling[0] = 1
+    for _ in range(components):
+        for i in range(limit, 0, -1):
+            stirling[i] = i * stirling[i] + stirling[i - 1]
+        stirling[0] = 0
+    counts = []
+    factorial = 1
+    for i in range(1, limit + 1):
+        factorial *= i
+        counts.append(factorial * stirling[i])
+    return tuple(counts)
+
+
+surjection_table_kernel = _kernel(_surjection_table)
+
+
+def surjection_table(components: int, limit: int) -> Tuple[int, ...]:
+    """b[1..limit] for D = ``components``: b[i] = i! * Stirling2(D, i).
+
+    All values come from a single O(D * limit) table pass — the batch
+    engine's replacement for evaluating the paper's exponential
+    recurrence once per (D, i) pair.
+    """
+    return surjection_table_kernel(components, limit)
+
+
+def surjection_count(components: int, rows: int) -> int:
+    """The paper's b[i]: ways to place D labelled components into
+    exactly ``rows`` specific rows with no row empty."""
+    _check_positive("components", components)
+    _check_positive("rows", rows)
+    if rows > components:
+        return 0
+    return surjection_table_kernel(components, rows)[rows - 1]
+
+
+# ----------------------------------------------------------------------
+# Eqs. 2-3: row-spread PMF, expectation, track demand
+# ----------------------------------------------------------------------
+def _row_spread_pmf(components: int, rows: int, mode: str) -> Tuple[float, ...]:
+    _check_mode(mode)
+    _check_positive("components", components)
+    _check_positive("rows", rows)
+    max_spread = min(rows, components)
+    if mode == "exact":
+        denominator = rows ** components
+    else:
+        denominator = rows ** max_spread
+    counts = surjection_table_kernel(components, max_spread)
+    raw = [
+        math.comb(rows, i) * counts[i - 1]
+        for i in range(1, max_spread + 1)
+    ]
+    weights = [value / denominator for value in raw]
+    total = sum(weights)
+    if total <= 0:
+        raise EstimationError(
+            f"degenerate row-spread distribution for D={components}, n={rows}"
+        )
+    return tuple(weight / total for weight in weights)
+
+
+row_spread_pmf_kernel = _kernel(_row_spread_pmf)
+
+
+def row_spread_pmf(
+    components: int, rows: int, mode: str = "paper"
+) -> Tuple[float, ...]:
+    """Memoized P_rows(i), i = 1..min(n, D) (Eq. 2)."""
+    return row_spread_pmf_kernel(components, rows, mode)
+
+
+def _expected_row_spread(components: int, rows: int, mode: str) -> float:
+    pmf = row_spread_pmf_kernel(components, rows, mode)
+    return sum(i * p for i, p in enumerate(pmf, start=1))
+
+
+expected_row_spread_kernel = _kernel(_expected_row_spread)
+
+
+def expected_row_spread(
+    components: int, rows: int, mode: str = "paper"
+) -> float:
+    """Memoized E(i) of Eq. 3."""
+    return expected_row_spread_kernel(components, rows, mode)
+
+
+def _tracks_for_net(components: int, rows: int, mode: str) -> int:
+    if components <= 1:
+        return 0
+    return max(1, round_up(expected_row_spread_kernel(components, rows, mode)))
+
+
+tracks_for_net_kernel = _kernel(_tracks_for_net)
+
+
+def tracks_for_net(components: int, rows: int, mode: str = "paper") -> int:
+    """Memoized per-net track demand (Eq. 3, rounded up)."""
+    return tracks_for_net_kernel(components, rows, mode)
+
+
+# ----------------------------------------------------------------------
+# Eqs. 5-9: feed-through probabilities
+# ----------------------------------------------------------------------
+def feedthrough_probability(components: int, rows: int, row: int) -> float:
+    """Closed-form Eq. 5: P(a D-component net straddles ``row``).
+
+    Uncached — the central-row kernel below covers the estimator's hot
+    path; direct per-row sweeps (the S1 study) touch each key once.
+    """
+    _check_positive("components", components)
+    _check_positive("rows", rows)
+    if not 1 <= row <= rows:
+        raise EstimationError(f"row {row} out of range 1..{rows}")
+    if components < 2:
+        # A feed-through needs one component above and one below.
+        return 0.0
+    if row == 1 or row == rows:
+        # No rows strictly above (or below) exist: exactly zero.
+        return 0.0
+    above = (row - 1) / rows
+    below = (rows - row) / rows
+    inside = 1.0 / rows
+    probability = (
+        1.0
+        - (1.0 - above) ** components
+        - (1.0 - below) ** components
+        + inside ** components
+    )
+    return max(0.0, probability)
+
+
+def _central_feedthrough_probability(
+    rows: int, components: int, model: str
+) -> float:
+    _check_positive("rows", rows)
+    if model == "two-component":
+        return (rows - 1) ** 2 / (2.0 * rows * rows)
+    if model == "general":
+        if rows < 3 or components < 2:
+            return 0.0
+        if rows % 2 == 1:
+            return feedthrough_probability(components, rows, (rows + 1) // 2)
+        low = feedthrough_probability(components, rows, rows // 2)
+        high = feedthrough_probability(components, rows, rows // 2 + 1)
+        return (low + high) / 2.0
+    raise EstimationError(
+        f"unknown feed-through model {model!r} "
+        "(expected 'two-component' or 'general')"
+    )
+
+
+central_feedthrough_probability_kernel = _kernel(
+    _central_feedthrough_probability
+)
+
+
+def central_feedthrough_probability(
+    rows: int, components: int = 2, model: str = "two-component"
+) -> float:
+    """Memoized feed-through probability at the central row (Eqs. 8-9)."""
+    return central_feedthrough_probability_kernel(rows, components, model)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _check_positive(label: str, value: int) -> None:
+    if value < 1:
+        raise EstimationError(f"{label} must be >= 1, got {value}")
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in ROW_SPREAD_MODES:
+        raise EstimationError(
+            f"unknown row-spread mode {mode!r} (expected one of "
+            f"{ROW_SPREAD_MODES})"
+        )

@@ -59,6 +59,36 @@ class TestSurjectionCount:
         assert total == n ** components
 
 
+class TestSurjectionRecurrenceOracle:
+    """The iterative Stirling table vs the paper's literal recurrence.
+
+    The recurrence (``surjection_count_recurrence``) is kept solely as
+    a test oracle: it recurses once per row value and computes
+    ``rows**components`` powers at every level, so the estimator itself
+    uses the iterative table.  Here the two must agree exactly.
+    """
+
+    @given(components=st.integers(1, 60), rows=st.integers(1, 60))
+    @settings(max_examples=200, deadline=None)
+    def test_iterative_matches_recurrence(self, components, rows):
+        assert prob.surjection_count(
+            components, rows
+        ) == prob.surjection_count_recurrence(components, rows)
+
+    def test_large_inputs_do_not_recurse(self):
+        """Inputs far beyond any sane netlist must not raise
+        RecursionError (the seed recurrence would)."""
+        value = prob.surjection_count(2000, 150)
+        assert value > 0
+
+    def test_oracle_matches_stirling_identity(self):
+        for components in range(1, 20):
+            rows = (components % 7) + 1
+            assert prob.surjection_count_recurrence(
+                components, rows
+            ) == math.factorial(rows) * stirling2(components, rows)
+
+
 class TestRowSpreadPmf:
     @given(
         components=st.integers(1, 10),

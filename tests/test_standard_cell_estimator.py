@@ -203,6 +203,35 @@ class TestChooseInitialRows:
         rows = choose_initial_rows(stats, nmos, EstimatorConfig(max_rows=3))
         assert rows <= 3
 
+    def test_port_heavy_module_iterates_several_times(self, nmos):
+        """A port-heavy module must walk the divisor loop, not stop at
+        the first candidate (regression for the loop bookkeeping).
+
+        With area 250000 and row_height 40 the candidate sequence is
+        rows = 7, 5, 4, 3, 3, 2, ... (divisor i = 2, 3, 4, ...); a
+        3000-lambda port demand first fits at rows = 2
+        (row_length = 3125), five iterations in.
+        """
+        from dataclasses import replace
+
+        module = random_gate_module("r", gates=10, inputs=2, outputs=1,
+                                    seed=0)
+        stats = replace(
+            _stats(module, nmos),
+            total_device_area=250000.0,
+            total_port_width=3000.0,
+        )
+        assert choose_initial_rows(stats, nmos) == 2
+        # A moderate port demand stops one iteration in (rows = 5,
+        # row_length = 1250); an extreme one falls through to the
+        # always-accepted single row.
+        assert choose_initial_rows(
+            stats=replace(stats, total_port_width=1000.0), process=nmos
+        ) == 5
+        assert choose_initial_rows(
+            stats=replace(stats, total_port_width=10000.0), process=nmos
+        ) == 1
+
 
 class TestSweepRows:
     def test_rows_match_request(self, small_gate_module, nmos):
