@@ -38,9 +38,18 @@ from repro.errors import (
     FloorplanError,
     LayoutError,
     NetlistError,
+    ObservabilityError,
     ParseError,
     ReproError,
     TechnologyError,
+)
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    get_registry,
+    use_tracer,
 )
 from repro.netlist import (
     Device,
@@ -75,12 +84,15 @@ __all__ = [
     "FloorplanError",
     "FullCustomEstimate",
     "LayoutError",
+    "MetricsRegistry",
     "Module",
     "ModuleAreaEstimator",
     "ModuleEstimate",
     "Net",
     "NetlistBuilder",
     "NetlistError",
+    "NullTracer",
+    "ObservabilityError",
     "ParseError",
     "Port",
     "PortDirection",
@@ -88,13 +100,17 @@ __all__ = [
     "ReproError",
     "StandardCellEstimate",
     "TechnologyError",
+    "Tracer",
     "cmos_process",
+    "current_tracer",
     "estimate_full_custom",
     "estimate_standard_cell",
+    "get_registry",
     "nmos_process",
     "parse_spice",
     "parse_verilog",
     "scan_module",
+    "use_tracer",
     "write_spice",
     "write_verilog",
     "__version__",

@@ -6,6 +6,9 @@ Subcommands mirror the deliverables:
   use case: schematic + process database -> area and aspect ratio).
 * ``mae scan <schematic>`` — print the statistics the estimator
   consumes (N, H, W_avg, net-size histogram).
+* ``mae explain <module>`` — per-net breakdown of an estimate: every
+  Eq. 2-3 track expectation and Eq. 4-11 feed-through term, reassembled
+  into the final Eq. 12/13 area (see docs/OBSERVABILITY.md).
 * ``mae process list|show|export`` — inspect the shipped process
   databases.
 * ``mae table1 | table2 | central-row | pipeline | iterations |
@@ -116,6 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.set_defaults(handler=_cmd_scan)
 
+    explain = sub.add_parser(
+        "explain",
+        help="print the per-net Eq. 2-11 terms behind an estimate",
+    )
+    explain.add_argument(
+        "module",
+        help="schematic file, or a suite module name (t1_full_adder, "
+             "t2_datapath, ...)",
+    )
+    _add_process_argument(explain)
+    explain.add_argument(
+        "--methodology", choices=("standard-cell", "full-custom"),
+        default="standard-cell",
+    )
+    explain.add_argument("--rows", type=int, default=None,
+                         help="fix the standard-cell row count")
+    explain.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also record the estimation spans/metrics to this JSONL file",
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
     process = sub.add_parser("process", help="process database utilities")
     process_sub = process.add_subparsers(title="actions")
     p_list = process_sub.add_parser("list", help="list shipped processes")
@@ -142,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
         command.set_defaults(handler=handler)
         if name in ("table1", "table2"):
             _add_jobs_argument(command)
+        if name == "runtime":
+            command.add_argument(
+                "--trace", default=None, metavar="FILE",
+                help="record the estimation spans/metrics to this "
+                     "JSONL file (docs/OBSERVABILITY.md)",
+            )
 
     ablation = sub.add_parser("ablation", help="run an ablation study")
     ablation.add_argument(
@@ -369,6 +400,47 @@ def _cmd_scan(args) -> None:
             print(f"Rent exponent: unavailable ({exc})")
 
 
+def _cmd_explain(args) -> None:
+    # Imported lazily: repro.obs.explain pulls in the whole estimator
+    # stack, which the lightweight subcommands never need.
+    from repro.obs.explain import (
+        explain_full_custom,
+        explain_standard_cell,
+        format_full_custom_explanation,
+        format_standard_cell_explanation,
+        resolve_module,
+    )
+    from repro.obs.jsonl import write_trace
+    from repro.obs.trace import Tracer, use_tracer
+
+    process = _resolve_process(args)
+    config = EstimatorConfig(rows=args.rows)
+    module = resolve_module(args.module, process)
+
+    tracer = Tracer() if args.trace else None
+
+    def run():
+        if args.methodology == "standard-cell":
+            return format_standard_cell_explanation(
+                explain_standard_cell(module, process, config)
+            )
+        return format_full_custom_explanation(
+            explain_full_custom(module, process, config)
+        )
+
+    if tracer is None:
+        print(run())
+    else:
+        with use_tracer(tracer):
+            with tracer.span("explain") as span:
+                span.set("module", module.name)
+                span.set("methodology", args.methodology)
+                report = run()
+        print(report)
+        write_trace(tracer, args.trace)
+        print(f"trace written to {args.trace}")
+
+
 def _cmd_process_list(args) -> None:
     del args
     for name, factory in sorted(builtin_processes().items()):
@@ -440,10 +512,12 @@ def _cmd_iterations(args) -> None:
 
 
 def _cmd_runtime(args) -> None:
-    del args
     from repro.experiments.runtime import format_runtime, run_runtime_experiment
 
-    print(format_runtime(run_runtime_experiment()))
+    trace_path = getattr(args, "trace", None)
+    print(format_runtime(run_runtime_experiment(trace_path=trace_path)))
+    if trace_path:
+        print(f"trace written to {trace_path}")
 
 
 def _cmd_pla(args) -> None:

@@ -21,6 +21,7 @@ import math
 from typing import Tuple
 
 from repro.errors import EstimationError
+from repro.obs.trace import current_tracer
 
 
 def full_custom_dimensions(
@@ -48,17 +49,27 @@ def full_custom_dimensions(
         raise EstimationError(
             f"port length must be >= 0, got {port_length}"
         )
-    edge = math.sqrt(area)
-    if port_length <= edge:
-        return edge, edge
-    # Ports force an elongated module: width = port_length is already
-    # the *minimum* width satisfying the criterion, so the max_aspect
-    # preference yields to it (an unconnectable module is useless
-    # however nicely shaped).
-    del max_aspect
-    width = port_length
-    height = area / width
-    return width, height
+    tracer = current_tracer()
+    with tracer.span("aspect.fit") as span:
+        edge = math.sqrt(area)
+        if port_length <= edge:
+            if tracer.enabled:
+                span.set("port_limited", False)
+                tracer.metrics.incr("aspect.evals")
+            return edge, edge
+        # Ports force an elongated module: width = port_length is already
+        # the *minimum* width satisfying the criterion, so the max_aspect
+        # preference yields to it (an unconnectable module is useless
+        # however nicely shaped).
+        del max_aspect
+        width = port_length
+        height = area / width
+        if tracer.enabled:
+            span.set("port_limited", True)
+            metrics = tracer.metrics
+            metrics.incr("aspect.evals")
+            metrics.incr("aspect.port_limited")
+        return width, height
 
 
 def fits_ports(width: float, height: float, port_length: float) -> bool:

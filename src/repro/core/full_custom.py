@@ -38,6 +38,7 @@ from repro.core.results import FullCustomEstimate
 from repro.errors import EstimationError
 from repro.netlist.model import Module, Net
 from repro.netlist.stats import ModuleStatistics, scan_module
+from repro.obs.trace import current_tracer
 from repro.technology.process import ProcessDatabase
 
 
@@ -57,35 +58,53 @@ def estimate_full_custom(
         raise EstimationError(
             f"module {module.name!r}: cannot estimate an empty module"
         )
+    tracer = current_tracer()
     if stats is None:
-        stats = scan_module(
-            module,
-            device_width=process.device_width,
-            device_height=process.device_height,
-            port_width=config.port_pitch_override or process.port_pitch,
-            power_nets=config.power_nets,
+        with tracer.span("scan") as span:
+            stats = scan_module(
+                module,
+                device_width=process.device_width,
+                device_height=process.device_height,
+                port_width=config.port_pitch_override or process.port_pitch,
+                power_nets=config.power_nets,
+            )
+            if tracer.enabled:
+                span.set("module", stats.module_name)
+                span.set("devices", stats.device_count)
+                span.set("nets", stats.net_count)
+                tracer.metrics.incr("scan.modules")
+
+    with tracer.span("fc.estimate") as span:
+        if config.device_area_mode == "exact":
+            device_area = stats.total_device_area
+        else:
+            device_area = (
+                stats.device_count * stats.average_width * stats.average_height
+            )
+
+        net_areas: List[Tuple[str, float]] = []
+        wire_area = 0.0
+        net_count = 0
+        with tracer.span("fc.net_areas"):
+            for net in module.iter_signal_nets(config.power_nets):
+                net_count += 1
+                area = net_interconnection_area(net, module, process, config,
+                                                stats.average_width)
+                if area > 0.0:
+                    net_areas.append((net.name, area))
+                    wire_area += area
+
+        total_area = device_area + wire_area
+        width, height = full_custom_dimensions(
+            total_area, stats.total_port_width, config.max_aspect
         )
-
-    if config.device_area_mode == "exact":
-        device_area = stats.total_device_area
-    else:
-        device_area = (
-            stats.device_count * stats.average_width * stats.average_height
-        )
-
-    net_areas: List[Tuple[str, float]] = []
-    wire_area = 0.0
-    for net in module.iter_signal_nets(config.power_nets):
-        area = net_interconnection_area(net, module, process, config,
-                                        stats.average_width)
-        if area > 0.0:
-            net_areas.append((net.name, area))
-            wire_area += area
-
-    total_area = device_area + wire_area
-    width, height = full_custom_dimensions(
-        total_area, stats.total_port_width, config.max_aspect
-    )
+        if tracer.enabled:
+            span.set("module", stats.module_name)
+            span.set("wire_area", wire_area)
+            metrics = tracer.metrics
+            metrics.incr("fc.estimates")
+            metrics.incr("fc.nets", net_count)
+            metrics.incr("fc.wire_area", wire_area)
     return FullCustomEstimate(
         module_name=module.name,
         device_area_mode=config.device_area_mode,

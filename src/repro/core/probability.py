@@ -38,6 +38,7 @@ from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import EstimationError
+from repro.obs.trace import current_tracer
 from repro.perf import kernels as _kernels
 from repro.units import round_up
 
@@ -128,13 +129,21 @@ def total_expected_tracks(
     ``net_size_histogram`` is the scanner's (D, y_D) pairs; Eq. 3
     applied per distinct D, weighted by y_D.
     """
-    total = 0
-    for components, count in net_size_histogram:
-        if count < 0:
-            raise EstimationError(
-                f"net-size histogram has negative count for D={components}"
-            )
-        total += count * tracks_for_net(components, rows, mode)
+    tracer = current_tracer()
+    with tracer.span("probability.total_tracks") as span:
+        total = 0
+        nets = 0
+        for components, count in net_size_histogram:
+            if count < 0:
+                raise EstimationError(
+                    f"net-size histogram has negative count for D={components}"
+                )
+            total += count * tracks_for_net(components, rows, mode)
+            nets += count
+        if tracer.enabled:
+            span.set("nets", nets)
+            span.set("tracks", total)
+            tracer.metrics.incr("probability.track_evals")
     return total
 
 
@@ -254,6 +263,10 @@ def expected_feedthroughs(nets: int, probability: float) -> int:
     if nets == 0:
         return 0
     mean = nets * probability
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.metrics.incr("feedthrough.evals")
+        tracer.metrics.incr("feedthrough.mean_sum", mean)
     return round_up(mean)
 
 

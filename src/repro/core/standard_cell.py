@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import EstimatorConfig
 from repro.core.probability import expected_feedthroughs
+from repro.obs.trace import current_tracer
 from repro.perf.kernels import (
     central_feedthrough_probability,
     tracks_for_net,
@@ -50,13 +51,20 @@ def estimate_standard_cell(
 ) -> StandardCellEstimate:
     """Estimate standard-cell layout area for a module."""
     config = config or EstimatorConfig()
-    stats = scan_module(
-        module,
-        device_width=process.device_width,
-        device_height=process.device_height,
-        port_width=config.port_pitch_override or process.port_pitch,
-        power_nets=config.power_nets,
-    )
+    tracer = current_tracer()
+    with tracer.span("scan") as span:
+        stats = scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=config.port_pitch_override or process.port_pitch,
+            power_nets=config.power_nets,
+        )
+        if tracer.enabled:
+            span.set("module", stats.module_name)
+            span.set("devices", stats.device_count)
+            span.set("nets", stats.net_count)
+            tracer.metrics.incr("scan.modules")
     return estimate_standard_cell_from_stats(stats, process, config)
 
 
@@ -73,21 +81,34 @@ def estimate_standard_cell_from_stats(
             f"module {stats.module_name!r}: cannot estimate an empty module"
         )
 
-    rows = config.rows if config.rows is not None else choose_initial_rows(
-        stats, process, config
-    )
-    if rows < 1:
-        raise EstimationError(f"row count must be >= 1, got {rows}")
+    tracer = current_tracer()
+    with tracer.span("sc.estimate") as span:
+        rows = config.rows if config.rows is not None else choose_initial_rows(
+            stats, process, config
+        )
+        if rows < 1:
+            raise EstimationError(f"row count must be >= 1, got {rows}")
 
-    tracks, per_size = _expected_tracks(stats, rows, config)
-    feedthroughs = _expected_feedthroughs(stats, rows, config)
+        tracks, per_size = _expected_tracks(stats, rows, config)
+        feedthroughs = _expected_feedthroughs(stats, rows, config)
 
-    cell_width_per_row = stats.average_width * stats.device_count / rows
-    feedthrough_width = feedthroughs * process.feedthrough_width
-    width = cell_width_per_row + feedthrough_width
-    height = rows * process.row_height + tracks * process.track_pitch
-    area = width * height
-    cell_area = stats.total_device_area
+        cell_width_per_row = stats.average_width * stats.device_count / rows
+        feedthrough_width = feedthroughs * process.feedthrough_width
+        width = cell_width_per_row + feedthrough_width
+        height = rows * process.row_height + tracks * process.track_pitch
+        area = width * height
+        cell_area = stats.total_device_area
+
+        if tracer.enabled:
+            span.set("module", stats.module_name)
+            span.set("rows", rows)
+            span.set("tracks", tracks)
+            span.set("feedthroughs", feedthroughs)
+            metrics = tracer.metrics
+            metrics.incr("sc.estimates")
+            metrics.incr("sc.nets_routed", stats.routed_net_count)
+            metrics.incr("sc.tracks_total", tracks)
+            metrics.incr("sc.feedthroughs_total", feedthroughs)
 
     return StandardCellEstimate(
         module_name=stats.module_name,
@@ -159,20 +180,27 @@ def choose_initial_rows(
     row_height = process.row_height
     port_length = stats.total_port_width
 
-    divisor = 2
-    iterations = 0
-    while True:
-        rows = math.ceil(math.sqrt(area) / (divisor * row_height))
-        rows = max(1, min(rows, config.max_rows))
-        row_length = area / (rows * row_height)
-        if rows == 1 or port_length <= row_length:
-            return rows
-        divisor += 1
-        iterations += 1
-        if iterations > 10_000:  # unreachable: rows -> 1 as divisor grows
-            raise EstimationError(
-                f"module {stats.module_name!r}: row selection did not converge"
-            )
+    tracer = current_tracer()
+    with tracer.span("sc.choose_rows") as span:
+        divisor = 2
+        iterations = 0
+        while True:
+            rows = math.ceil(math.sqrt(area) / (divisor * row_height))
+            rows = max(1, min(rows, config.max_rows))
+            row_length = area / (rows * row_height)
+            if rows == 1 or port_length <= row_length:
+                if tracer.enabled:
+                    span.set("rows", rows)
+                    span.set("iterations", iterations)
+                    tracer.metrics.incr("sc.row_iterations", iterations)
+                return rows
+            divisor += 1
+            iterations += 1
+            if iterations > 10_000:  # unreachable: rows -> 1 as divisor grows
+                raise EstimationError(
+                    f"module {stats.module_name!r}: row selection did not "
+                    "converge"
+                )
 
 
 # ----------------------------------------------------------------------
@@ -183,26 +211,34 @@ def _expected_tracks(
     rows: int,
     config: EstimatorConfig,
 ) -> Tuple[int, List[Tuple[int, int]]]:
-    per_size: List[Tuple[int, int]] = []
-    total = 0
-    for components, count in stats.multi_component_nets:
-        tracks = tracks_for_net(components, rows, config.row_spread_mode)
-        per_size.append((components, tracks))
-        total += tracks * count
-    if config.track_model == "shared":
-        # Section 7 future work: the analytic expected-density model.
-        from repro.core.sharing import estimate_shared_tracks
+    tracer = current_tracer()
+    with tracer.span("sc.tracks") as span:
+        per_size: List[Tuple[int, int]] = []
+        total = 0
+        for components, count in stats.multi_component_nets:
+            tracks = tracks_for_net(components, rows, config.row_spread_mode)
+            per_size.append((components, tracks))
+            total += tracks * count
+        if config.track_model == "shared":
+            # Section 7 future work: the analytic expected-density model.
+            from repro.core.sharing import estimate_shared_tracks
 
-        shared = estimate_shared_tracks(
-            stats.multi_component_nets,
-            rows,
-            config.congestion_margin,
-            config.row_spread_mode,
-        ).total_tracks
-        # The upper bound stays an upper bound.
-        shared = min(shared, total)
-    else:
-        shared = math.ceil(total * config.track_sharing_factor)
+            shared = estimate_shared_tracks(
+                stats.multi_component_nets,
+                rows,
+                config.congestion_margin,
+                config.row_spread_mode,
+            ).total_tracks
+            # The upper bound stays an upper bound.
+            shared = min(shared, total)
+        else:
+            shared = math.ceil(total * config.track_sharing_factor)
+        if tracer.enabled:
+            span.set("raw_tracks", total)
+            span.set("tracks", shared)
+            tracer.metrics.incr(
+                "sc.track_nets", stats.routed_net_count
+            )
     return shared, per_size
 
 
@@ -211,16 +247,27 @@ def _expected_feedthroughs(
     rows: int,
     config: EstimatorConfig,
 ) -> int:
-    if rows < 3:
-        # No interior row exists; nothing can straddle a row.
-        return 0
-    if config.feedthrough_model == "two-component":
-        probability = central_feedthrough_probability(rows)
-        return expected_feedthroughs(stats.routed_net_count, probability)
-    # General model: per net size D, Eq. 8 at the central row.
-    mean = 0.0
-    for components, count in stats.multi_component_nets:
-        mean += count * central_feedthrough_probability(
-            rows, components, model="general"
-        )
-    return round_up(mean)
+    tracer = current_tracer()
+    with tracer.span("sc.feedthroughs") as span:
+        if rows < 3:
+            # No interior row exists; nothing can straddle a row.
+            return 0
+        if config.feedthrough_model == "two-component":
+            probability = central_feedthrough_probability(rows)
+            count = expected_feedthroughs(
+                stats.routed_net_count, probability
+            )
+            if tracer.enabled:
+                span.set("mean", stats.routed_net_count * probability)
+                span.set("feedthroughs", count)
+            return count
+        # General model: per net size D, Eq. 8 at the central row.
+        mean = 0.0
+        for components, count in stats.multi_component_nets:
+            mean += count * central_feedthrough_probability(
+                rows, components, model="general"
+            )
+        if tracer.enabled:
+            span.set("mean", mean)
+            tracer.metrics.incr("feedthrough.mean_sum", mean)
+        return round_up(mean)

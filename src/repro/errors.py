@@ -55,3 +55,7 @@ class DatabaseError(ReproError):
 
 class BenchmarkError(ReproError):
     """A perf-trajectory record is malformed or a bench run failed."""
+
+
+class ObservabilityError(ReproError):
+    """A trace file or explain report is malformed or inconsistent."""

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.core.config import EstimatorConfig
 from repro.core.full_custom import estimate_full_custom_both
@@ -20,6 +21,8 @@ from repro.core.standard_cell import estimate_standard_cell
 from repro.layout.annealing import timberwolf_1988_schedule
 from repro.layout.full_custom_flow import layout_full_custom
 from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.obs.jsonl import write_trace
+from repro.obs.trace import Tracer, current_tracer, use_tracer
 from repro.reporting import render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -50,15 +53,41 @@ class RuntimeRow:
 def run_runtime_experiment(
     process: Optional[ProcessDatabase] = None,
     config: Optional[EstimatorConfig] = None,
+    trace_path: Optional[Union[str, Path]] = None,
 ) -> List[RuntimeRow]:
-    """Time estimation vs layout for both suites."""
+    """Time estimation vs layout for both suites.
+
+    With ``trace_path`` set, the estimation calls run under a fresh
+    :class:`~repro.obs.trace.Tracer` and the collected spans/metrics are
+    written to that path as JSONL (see docs/OBSERVABILITY.md).  The
+    layout calls are deliberately left untraced — the experiment times
+    them as an opaque baseline, not as part of the estimator pipeline.
+    """
+    if trace_path is None:
+        return _run_runtime_cases(process, config)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("experiment.runtime"):
+            rows = _run_runtime_cases(process, config)
+    write_trace(tracer, trace_path)
+    return rows
+
+
+def _run_runtime_cases(
+    process: Optional[ProcessDatabase],
+    config: Optional[EstimatorConfig],
+) -> List[RuntimeRow]:
     process = process or nmos_process()
     config = config or EstimatorConfig()
+    tracer = current_tracer()
     rows: List[RuntimeRow] = []
 
     for case in table1_suite():
         start = time.perf_counter()
-        estimate_full_custom_both(case.module, process, config)
+        with tracer.span("runtime.case") as span:
+            span.set("module", case.module.name)
+            span.set("methodology", "full-custom")
+            estimate_full_custom_both(case.module, process, config)
         est_seconds = time.perf_counter() - start
         start = time.perf_counter()
         layout_full_custom(case.module, process, seed=case.seed,
@@ -78,8 +107,11 @@ def run_runtime_experiment(
     for case in table2_suite():
         row_count = case.row_counts[0]
         start = time.perf_counter()
-        estimate_standard_cell(case.module, process,
-                               config.with_rows(row_count))
+        with tracer.span("runtime.case") as span:
+            span.set("module", case.module.name)
+            span.set("methodology", "standard-cell")
+            estimate_standard_cell(case.module, process,
+                                   config.with_rows(row_count))
         est_seconds = time.perf_counter() - start
         start = time.perf_counter()
         layout_standard_cell(case.module, process, rows=row_count,

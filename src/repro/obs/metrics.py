@@ -1,0 +1,112 @@
+"""The unified metrics registry.
+
+PR 1 left the repository with one observability island: the kernel
+caches of :mod:`repro.perf.kernels` count their own hits and misses.
+This module puts every counter behind one snapshot API:
+
+* **Estimation counters** — plain additive ``name -> number`` values
+  recorded by the span hooks in :mod:`repro.core` and
+  :mod:`repro.perf.batch` (estimates run, nets processed, expected
+  feed-through mass, batch tasks, ...).  Additive counters merge across
+  processes: a pool worker ships its counter dict back to the parent,
+  which folds it in with :meth:`MetricsRegistry.merge_counters`, so a
+  ``jobs=4`` run reports the same totals as the serial run.
+* **Kernel-cache statistics** — read live from
+  :func:`repro.perf.kernels.kernel_cache_stats` at snapshot time.
+  These are *per-process* (each pool worker warms its own cache) and
+  deliberately kept out of the additive counter space; consumers that
+  compare serial and parallel runs compare :meth:`counters`, not the
+  cache section.
+
+The default registry (:func:`get_registry`) is process-global so code
+that only wants a snapshot — ``mae bench`` reporting cache hit rates —
+never needs to construct anything.  Tracers carry their *own* registry
+(see :mod:`repro.obs.trace`) so a traced run's counters are isolated
+from other work in the process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Additive counters plus a live view of the kernel-cache stats."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Number] = {}
+
+    # ------------------------------------------------------------------
+    # additive counters
+    # ------------------------------------------------------------------
+    def incr(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` (int or float) to the counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counters(self) -> Dict[str, Number]:
+        """A sorted copy of the additive counters."""
+        return dict(sorted(self._counters.items()))
+
+    def merge_counters(self, other: Mapping[str, Number]) -> None:
+        """Fold another counter dict in additively.
+
+        This is the cross-process merge: :func:`repro.perf.batch`
+        collects each pool worker's counters and merges them here, so
+        totals are independent of how the work was scheduled.
+        """
+        for name, value in other.items():
+            self.incr(name, value)
+
+    def clear(self) -> None:
+        """Drop every additive counter (kernel stats are not touched)."""
+        self._counters.clear()
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-ready view of everything observable.
+
+        ``{"counters": {...}, "kernels": {name: {hits, misses, entries,
+        hit_rate}}}`` — the ``kernels`` section is read live from this
+        process's kernel caches and matches the shape recorded in
+        ``BENCH_batch_engine.json``.
+        """
+        return {
+            "counters": self.counters(),
+            "kernels": kernel_cache_snapshot(),
+        }
+
+
+def kernel_cache_snapshot() -> Dict[str, Dict[str, Number]]:
+    """The kernel-cache section of a snapshot, as plain JSON types.
+
+    This is the supported way to report cache statistics (``mae bench``
+    uses it); it shields consumers from the internals of
+    :mod:`repro.perf.kernels`.
+    """
+    # Imported here, not at module top, so repro.obs stays import-light
+    # and dependency-free for the tracer hot path.
+    from repro.perf.kernels import kernel_cache_stats
+
+    return {
+        name: {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "entries": stats.entries,
+            "hit_rate": round(stats.hit_rate, 4),
+        }
+        for name, stats in sorted(kernel_cache_stats().items())
+    }
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _DEFAULT_REGISTRY

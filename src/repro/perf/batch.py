@@ -39,6 +39,7 @@ from repro.core.standard_cell import estimate_standard_cell_from_stats
 from repro.errors import EstimationError
 from repro.netlist.model import Module
 from repro.netlist.stats import ModuleStatistics, scan_module
+from repro.obs.trace import Tracer, current_tracer, use_tracer
 from repro.technology.process import ProcessDatabase
 
 #: Methodologies the batch executor understands.
@@ -116,43 +117,73 @@ def estimate_batch(
 
     modules = list(modules)
     per_module_configs = _normalise_configs(modules, configs)
+    tracer = current_tracer()
+    # When the parent is tracing, workers must trace too: each pool
+    # worker collects spans and counters locally and ships them back
+    # for the merge below, so jobs>1 reports the same merged metrics as
+    # the serial path.
+    capture = tracer.enabled
     groups = [
-        (module, process, methodologies, module_configs)
+        (module, process, methodologies, module_configs, capture)
         for module, module_configs in zip(modules, per_module_configs)
     ]
 
-    # Worker processes beyond the physical core count (or the group
-    # count) are pure spawn/pickle overhead, so clamp before deciding
-    # whether a pool is worth starting at all — on a single-core host
-    # every jobs value degrades to the fast in-process path.
-    workers = min(jobs, os.cpu_count() or 1, len(groups))
-    if workers <= 1:
-        estimate_lists = [_estimate_module_group(group) for group in groups]
-    else:
-        estimate_lists = _run_pool(groups, workers)
+    with tracer.span("batch.estimate") as batch_span:
+        # Worker processes beyond the physical core count (or the group
+        # count) are pure spawn/pickle overhead, so clamp before deciding
+        # whether a pool is worth starting at all — on a single-core host
+        # every jobs value degrades to the fast in-process path.
+        workers = min(jobs, os.cpu_count() or 1, len(groups))
+        if workers <= 1:
+            outcomes = [_estimate_module_group(group) for group in groups]
+        else:
+            outcomes = _run_pool(groups, workers)
 
-    results: List[BatchResult] = []
-    for module_index, (module, module_configs, estimates) in enumerate(
-        zip(modules, per_module_configs, estimate_lists)
-    ):
-        cursor = iter(estimates)
-        for methodology in methodologies:
-            for config in module_configs:
-                results.append(
-                    BatchResult(
-                        task=BatchTask(
-                            module_index=module_index,
-                            module_name=module.name,
-                            methodology=methodology,
-                            config=config,
-                        ),
-                        estimate=next(cursor),
+        estimate_lists: List[List[Estimate]] = []
+        for estimates, worker_records, worker_counters in outcomes:
+            if worker_records:
+                tracer.absorb(worker_records)
+            if worker_counters:
+                tracer.metrics.merge_counters(worker_counters)
+            estimate_lists.append(estimates)
+
+        results: List[BatchResult] = []
+        for module_index, (module, module_configs, estimates) in enumerate(
+            zip(modules, per_module_configs, estimate_lists)
+        ):
+            cursor = iter(estimates)
+            for methodology in methodologies:
+                for config in module_configs:
+                    results.append(
+                        BatchResult(
+                            task=BatchTask(
+                                module_index=module_index,
+                                module_name=module.name,
+                                methodology=methodology,
+                                config=config,
+                            ),
+                            estimate=next(cursor),
+                        )
                     )
-                )
+        if capture:
+            # Worker count is run-shape, not workload: span payload only,
+            # so serial and jobs>1 runs merge to identical counters.
+            batch_span.set("workers", workers)
+            batch_span.set("groups", len(groups))
+            batch_span.set("tasks", len(results))
+            metrics = tracer.metrics
+            metrics.incr("batch.calls")
+            metrics.incr("batch.groups", len(groups))
+            metrics.incr("batch.tasks", len(results))
     return results
 
 
-def _run_pool(groups: list, workers: int) -> List[List[Estimate]]:
+#: What one group evaluation ships back: the estimates, plus — only
+#: when a pool worker captured them — its span records and counters.
+GroupOutcome = Tuple[List[Estimate], Optional[list], Optional[dict]]
+
+
+def _run_pool(groups: list, workers: int) -> List[GroupOutcome]:
     """Fan the per-module groups across a process pool.
 
     Futures are collected in submission order, so results line up with
@@ -170,26 +201,50 @@ def _run_pool(groups: list, workers: int) -> List[List[Estimate]]:
         return [_estimate_module_group(group) for group in groups]
 
 
-def _estimate_module_group(group) -> List[Estimate]:
+def _estimate_module_group(group) -> GroupOutcome:
     """Worker: all (methodology x config) estimates for one module.
 
     Runs in a pool worker at ``jobs>1`` and inline at ``jobs=1``; the
     schematic scan is shared across every config with the same scan
     signature, and kernel-cache entries are shared process-wide.
+
+    When ``capture`` is set and no tracer is active in this process
+    (i.e. we are a pool worker of a traced parent), a local tracer
+    collects this group's spans and counters and returns them for the
+    parent to merge.  Inline (serial) execution records straight into
+    the parent's tracer and returns ``None`` for both.
     """
-    module, process, methodologies, configs = group
+    module, process, methodologies, configs, capture = group
+    tracer = current_tracer()
+    if capture and not tracer.enabled:
+        local = Tracer()
+        with use_tracer(local):
+            with local.span("batch.worker_group") as span:
+                span.set("module", module.name)
+                estimates = _run_group(module, process, methodologies, configs)
+        return estimates, local.records(), local.metrics.counters()
+    return _run_group(module, process, methodologies, configs), None, None
+
+
+def _run_group(module, process, methodologies, configs) -> List[Estimate]:
     scans: dict = {}
 
     def stats_for(config: EstimatorConfig) -> ModuleStatistics:
         key = (config.port_pitch_override, config.power_nets)
         if key not in scans:
-            scans[key] = scan_module(
-                module,
-                device_width=process.device_width,
-                device_height=process.device_height,
-                port_width=config.port_pitch_override or process.port_pitch,
-                power_nets=config.power_nets,
-            )
+            tracer = current_tracer()
+            with tracer.span("scan") as span:
+                scans[key] = scan_module(
+                    module,
+                    device_width=process.device_width,
+                    device_height=process.device_height,
+                    port_width=config.port_pitch_override
+                    or process.port_pitch,
+                    power_nets=config.power_nets,
+                )
+                if tracer.enabled:
+                    span.set("module", module.name)
+                    tracer.metrics.incr("scan.modules")
         return scans[key]
 
     estimates: List[Estimate] = []

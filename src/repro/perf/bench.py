@@ -42,12 +42,9 @@ from repro.core.full_custom import estimate_full_custom_both
 from repro.core.standard_cell import estimate_standard_cell
 from repro.errors import BenchmarkError
 from repro.netlist.model import Module
+from repro.obs.metrics import get_registry
 from repro.perf.batch import estimate_batch
-from repro.perf.kernels import (
-    caches_disabled,
-    clear_kernel_caches,
-    kernel_cache_stats,
-)
+from repro.perf.kernels import caches_disabled, clear_kernel_caches
 from repro.reporting import render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -234,12 +231,9 @@ def run_bench(
     clear_kernel_caches()
     batch1_estimates = timed("synthetic_batch_jobs1", sweep_items,
                              lambda: sweep_batch(1))
-    cache_snapshot = {
-        name: {"hits": stats.hits, "misses": stats.misses,
-               "entries": stats.entries,
-               "hit_rate": round(stats.hit_rate, 4)}
-        for name, stats in kernel_cache_stats().items()
-    }
+    # The registry snapshot is the supported view of the kernel caches
+    # (same shape as before, no reaching into repro.perf.kernels).
+    cache_snapshot = get_registry().snapshot()["kernels"]
     equivalence["synthetic_jobs1"] = seed_estimates == batch1_estimates
     if jobs > 1:
         clear_kernel_caches()

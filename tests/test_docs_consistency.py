@@ -1,0 +1,67 @@
+"""Docs stay in sync with the code.
+
+Two cheap invariants that rot silently otherwise:
+
+* every module under ``src/repro/`` appears in ``docs/API.md`` (the
+  "Module index" section exists exactly so this check is mechanical);
+* every ``mae`` subcommand registered in :func:`repro.cli.build_parser`
+  is mentioned in the README.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def _all_module_names():
+    names = []
+    for path in sorted((SRC_ROOT / "repro").rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT)
+        if relative.name == "__init__.py":
+            parts = relative.parent.parts
+        else:
+            parts = relative.with_suffix("").parts
+        names.append(".".join(parts))
+    return names
+
+
+def _subcommand_names(parser):
+    for action in parser._subparsers._group_actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise AssertionError("mae parser has no subcommands")
+
+
+def test_every_module_is_documented_in_api_md():
+    api_text = (REPO_ROOT / "docs" / "API.md").read_text()
+    modules = _all_module_names()
+    assert "repro.obs" in modules  # sanity: the walk found the tree
+    missing = [name for name in modules if f"`{name}`" not in api_text]
+    assert not missing, (
+        f"modules missing from docs/API.md: {missing} — add them to the "
+        "Module index section"
+    )
+
+
+def test_every_cli_subcommand_is_in_readme():
+    readme = (REPO_ROOT / "README.md").read_text()
+    commands = _subcommand_names(build_parser())
+    assert "explain" in commands
+    missing = [name for name in commands if f"mae {name}" not in readme]
+    assert not missing, (
+        f"mae subcommands missing from README.md: {missing}"
+    )
+
+
+def test_observability_doc_is_cross_linked():
+    """The new subsystem doc is reachable from the entry-point docs."""
+    assert (REPO_ROOT / "docs" / "OBSERVABILITY.md").exists()
+    assert "OBSERVABILITY.md" in (REPO_ROOT / "README.md").read_text()
+    assert "OBSERVABILITY.md" in (REPO_ROOT / "DESIGN.md").read_text()
+    assert "OBSERVABILITY.md" in (REPO_ROOT / "docs" / "API.md").read_text()

@@ -1,0 +1,230 @@
+"""``mae explain``: the per-net audit of Eqs. 2-13.
+
+An explanation is only useful if its terms genuinely reassemble into
+the estimator's reported numbers — so the tests here check the
+arithmetic identity (per-net tracks sum to T, per-net probabilities
+produce E(M), width*height reproduces Eq. 12/13 area) on real suite
+modules, and that ``verify()`` rejects tampered explanations instead of
+printing a confident wrong report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.full_custom import estimate_full_custom
+from repro.core.standard_cell import estimate_standard_cell
+from repro.errors import EstimationError, ObservabilityError
+from repro.obs.explain import (
+    AREA_TOLERANCE,
+    explain_full_custom,
+    explain_standard_cell,
+    format_full_custom_explanation,
+    format_standard_cell_explanation,
+    resolve_module,
+    suite_modules,
+)
+from repro.workloads.suites import table1_suite, table2_suite
+
+
+# ----------------------------------------------------------------------
+# standard-cell explanations on the Table 2 suite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case_index", range(len(table2_suite())))
+def test_terms_reassemble_into_eq12_area(nmos, case_index):
+    case = table2_suite()[case_index]
+    for rows in case.row_counts:
+        config = EstimatorConfig(rows=rows)
+        explanation = explain_standard_cell(case.module, nmos, config)
+        estimate = estimate_standard_cell(case.module, nmos, config)
+        assert explanation.estimate == estimate
+        assert math.isclose(
+            explanation.reconstructed_area(),
+            estimate.area,
+            rel_tol=AREA_TOLERANCE,
+        )
+
+
+def test_per_net_terms_match_estimator(nmos):
+    case = table2_suite()[1]  # t2_datapath
+    config = EstimatorConfig(rows=4)
+    explanation = explain_standard_cell(case.module, nmos, config)
+    estimate = explanation.estimate
+
+    assert sum(t.tracks for t in explanation.net_terms) == (
+        explanation.raw_tracks
+    )
+    assert explanation.tracks == estimate.tracks
+    assert explanation.feedthroughs == estimate.feedthroughs
+    # Every routed net appears exactly once; singles are counted apart.
+    routed = {t.net for t in explanation.net_terms}
+    assert len(routed) == len(explanation.net_terms)
+    assert (
+        len(explanation.net_terms) + explanation.single_component_nets
+        == explanation.stats.routed_net_count
+        + explanation.single_component_nets
+    )
+
+
+def test_width_height_terms(nmos):
+    case = table2_suite()[0]
+    config = EstimatorConfig(rows=3)
+    explanation = explain_standard_cell(case.module, nmos, config)
+    estimate = explanation.estimate
+    assert math.isclose(
+        sum(explanation.width_terms()), estimate.width,
+        rel_tol=AREA_TOLERANCE,
+    )
+    assert math.isclose(
+        sum(explanation.height_terms()), estimate.height,
+        rel_tol=AREA_TOLERANCE,
+    )
+
+
+def test_verify_rejects_tampering(nmos):
+    case = table2_suite()[0]
+    explanation = explain_standard_cell(
+        case.module, nmos, EstimatorConfig(rows=3)
+    )
+    tampered = dataclasses.replace(
+        explanation, feedthroughs=explanation.feedthroughs + 1
+    )
+    with pytest.raises(ObservabilityError):
+        tampered.verify()
+    tampered = dataclasses.replace(explanation, raw_tracks=0)
+    with pytest.raises(ObservabilityError):
+        tampered.verify()
+
+
+def test_explain_respects_config_knobs(nmos):
+    case = table2_suite()[1]
+    shared = EstimatorConfig(rows=4, track_model="shared")
+    explanation = explain_standard_cell(case.module, nmos, shared)
+    estimate = estimate_standard_cell(case.module, nmos, shared)
+    assert explanation.tracks == estimate.tracks
+    general = EstimatorConfig(rows=4, feedthrough_model="general")
+    explanation = explain_standard_cell(case.module, nmos, general)
+    estimate = estimate_standard_cell(case.module, nmos, general)
+    assert explanation.feedthroughs == estimate.feedthroughs
+    assert math.isclose(
+        explanation.reconstructed_area(), estimate.area,
+        rel_tol=AREA_TOLERANCE,
+    )
+
+
+def test_formatted_report_mentions_the_equations(nmos):
+    case = table2_suite()[1]
+    explanation = explain_standard_cell(
+        case.module, nmos, EstimatorConfig(rows=4)
+    )
+    report = format_standard_cell_explanation(explanation)
+    for marker in ("Eq. 1", "Eqs. 2-3", "Eq. 10", "Eq. 11", "Eq. 12",
+                   "Eq. 14"):
+        assert marker in report
+    assert case.module.name in report
+    assert f"{explanation.estimate.area:.3f}" in report
+
+
+# ----------------------------------------------------------------------
+# full-custom explanations on the Table 1 suite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case_index", range(len(table1_suite())))
+def test_full_custom_terms_reassemble(nmos, case_index):
+    case = table1_suite()[case_index]
+    config = EstimatorConfig()
+    explanation = explain_full_custom(case.module, nmos, config)
+    estimate = estimate_full_custom(case.module, nmos, config)
+    assert math.isclose(
+        explanation.reconstructed_area(), estimate.area,
+        rel_tol=AREA_TOLERANCE,
+    )
+    assert math.isclose(
+        explanation.estimate.device_area
+        + sum(area for _, _, area in explanation.net_areas),
+        estimate.area,
+        rel_tol=AREA_TOLERANCE,
+    )
+
+
+def test_full_custom_report(nmos):
+    case = table1_suite()[0]
+    explanation = explain_full_custom(case.module, nmos, EstimatorConfig())
+    report = format_full_custom_explanation(explanation)
+    assert "Eq. 13" in report
+    assert case.module.name in report
+
+
+def test_full_custom_verify_rejects_tampering(nmos):
+    case = table1_suite()[0]
+    explanation = explain_full_custom(case.module, nmos, EstimatorConfig())
+    net, components, area = explanation.net_areas[0]
+    tampered = dataclasses.replace(
+        explanation,
+        net_areas=((net, components, area + 1.0),)
+        + explanation.net_areas[1:],
+    )
+    with pytest.raises(ObservabilityError):
+        tampered.verify()
+
+
+# ----------------------------------------------------------------------
+# module resolution
+# ----------------------------------------------------------------------
+class TestResolveModule:
+    def test_suite_names(self, nmos):
+        names = set(suite_modules())
+        assert {"t1_full_adder", "t2_datapath", "t2_control"} <= names
+        module = resolve_module("t2_datapath", nmos)
+        assert module.name == "t2_datapath"
+
+    def test_schematic_path(self, nmos, tmp_path):
+        from repro.netlist.writers import write_verilog
+
+        source = write_verilog(resolve_module("t2_control", nmos))
+        path = tmp_path / "control.v"
+        path.write_text(source)
+        module = resolve_module(str(path), nmos)
+        assert module.device_count > 0
+
+    def test_unknown_name_lists_suite(self, nmos):
+        with pytest.raises(EstimationError, match="t2_datapath"):
+            resolve_module("no_such_module", nmos)
+
+
+# ----------------------------------------------------------------------
+# the CLI subcommand
+# ----------------------------------------------------------------------
+class TestExplainCli:
+    def test_standard_cell(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "t2_datapath", "--rows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 12" in out
+        assert "t2_datapath" in out
+
+    def test_full_custom_with_trace(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.obs.jsonl import read_trace
+
+        trace = tmp_path / "explain.jsonl"
+        assert main([
+            "explain", "t1_full_adder", "--methodology", "full-custom",
+            "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 13" in out
+        data = read_trace(trace)
+        names = [span["name"] for span in data["spans"]]
+        assert names[0] == "explain"
+        assert "fc.estimate" in names
+
+    def test_unknown_module_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""MetricsRegistry semantics and cross-process metric merging.
+
+The key contract: a traced ``estimate_batch`` reports the *same* merged
+counters whether it runs serially or fans module groups across pool
+workers.  Counters are additive, workload-derived quantities; run-shape
+facts (how many workers) live in span payloads only, so the two paths
+are indistinguishable in the counter space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.obs.metrics import MetricsRegistry, get_registry, kernel_cache_snapshot
+from repro.obs.trace import Tracer, use_tracer
+from repro.perf.batch import _estimate_module_group, estimate_batch
+from repro.perf.kernels import clear_kernel_caches
+from repro.workloads.suites import table2_suite
+
+
+# ----------------------------------------------------------------------
+# registry basics
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_incr_and_counters(self):
+        registry = MetricsRegistry()
+        registry.incr("a")
+        registry.incr("a", 2)
+        registry.incr("b", 0.5)
+        assert registry.counters() == {"a": 3, "b": 0.5}
+
+    def test_counters_returns_sorted_copy(self):
+        registry = MetricsRegistry()
+        registry.incr("z")
+        registry.incr("a")
+        counters = registry.counters()
+        assert list(counters) == ["a", "z"]
+        counters["a"] = 99
+        assert registry.counters()["a"] == 1
+
+    def test_merge_counters_is_additive(self):
+        registry = MetricsRegistry()
+        registry.incr("a", 1)
+        registry.merge_counters({"a": 2, "b": 5})
+        registry.merge_counters({"b": 1})
+        assert registry.counters() == {"a": 3, "b": 6}
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.incr("a")
+        registry.clear()
+        assert registry.counters() == {}
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.incr("scan.modules", 2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"scan.modules": 2}
+        assert set(snapshot["kernels"]) == set(kernel_cache_snapshot())
+        for stats in snapshot["kernels"].values():
+            assert set(stats) == {"hits", "misses", "entries", "hit_rate"}
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+    def test_kernel_snapshot_tracks_cache_use(self):
+        from repro.core.probability import expected_row_spread
+
+        clear_kernel_caches()
+        expected_row_spread(4, 7)
+        expected_row_spread(4, 7)
+        stats = kernel_cache_snapshot()["expected_row_spread"]
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# serial vs parallel merged metrics
+# ----------------------------------------------------------------------
+def _suite_batch_inputs():
+    cases = list(table2_suite())
+    modules = [case.module for case in cases]
+    configs = [
+        tuple(EstimatorConfig(rows=rows) for rows in case.row_counts)
+        for case in cases
+    ]
+    return modules, configs
+
+
+def _traced_batch(nmos, jobs):
+    modules, configs = _suite_batch_inputs()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        results = estimate_batch(
+            modules, nmos, configs, ("standard-cell", "full-custom"),
+            jobs=jobs,
+        )
+    return tracer, results
+
+
+class TestBatchMetricsMerge:
+    def test_serial_and_parallel_counters_match(self, nmos):
+        serial_tracer, serial_results = _traced_batch(nmos, jobs=1)
+        parallel_tracer, parallel_results = _traced_batch(nmos, jobs=4)
+        assert [r.estimate for r in serial_results] == [
+            r.estimate for r in parallel_results
+        ]
+        assert (
+            serial_tracer.metrics.counters()
+            == parallel_tracer.metrics.counters()
+        )
+
+    def test_counters_cover_the_whole_workload(self, nmos):
+        tracer, results = _traced_batch(nmos, jobs=1)
+        counters = tracer.metrics.counters()
+        assert counters["batch.calls"] == 1
+        assert counters["batch.groups"] == len(table2_suite())
+        assert counters["batch.tasks"] == len(results)
+        assert counters["scan.modules"] == len(table2_suite())
+        sc_count = sum(
+            1 for r in results if r.task.methodology == "standard-cell"
+        )
+        assert counters["sc.estimates"] == sc_count
+
+    def test_worker_capture_merges_like_inline(self, nmos):
+        """The pool-worker capture path, exercised directly.
+
+        The host may have a single core (the pool clamps to it), so the
+        worker-side branch of ``_estimate_module_group`` is driven
+        explicitly: capture=True with no active tracer is exactly the
+        state inside a pool worker of a traced parent.
+        """
+        case = table2_suite()[0]
+        configs = tuple(EstimatorConfig(rows=r) for r in case.row_counts)
+        group = (case.module, nmos, ("standard-cell",), configs, True)
+
+        # Inline reference: same group, recorded by an active tracer.
+        inline = Tracer()
+        with use_tracer(inline):
+            inline_estimates, records, counters = _estimate_module_group(
+                (case.module, nmos, ("standard-cell",), configs, True)
+            )
+        assert records is None and counters is None
+
+        # Worker path: no active tracer, so the group captures locally.
+        worker_estimates, records, counters = _estimate_module_group(group)
+        assert worker_estimates == inline_estimates
+        assert records, "worker must ship span records back"
+        assert counters == inline.metrics.counters()
+
+        # The parent merge reproduces the inline trace contents.
+        parent = Tracer()
+        with parent.span("batch.estimate"):
+            parent.absorb(records)
+        parent.metrics.merge_counters(counters)
+        assert parent.metrics.counters() == inline.metrics.counters()
+        worker_names = parent.span_names()
+        worker_names.pop("batch.estimate")
+        worker_names.pop("batch.worker_group")
+        assert worker_names == inline.span_names()
+
+    def test_untraced_batch_records_nothing(self, nmos):
+        modules, configs = _suite_batch_inputs()
+        tracer = Tracer()
+        estimate_batch(modules, nmos, configs, ("standard-cell",), jobs=1)
+        assert tracer.records() == []
+        assert tracer.metrics.counters() == {}
+
+
+# ----------------------------------------------------------------------
+# bench integration
+# ----------------------------------------------------------------------
+def test_bench_reads_kernel_stats_from_registry(tmp_path):
+    """``mae bench`` consumes cache stats via the registry snapshot."""
+    from repro.perf.bench import run_bench
+
+    record = run_bench(jobs=1, smoke=True)
+    snapshot = record["cache"]["kernels"]
+    assert set(snapshot) == set(kernel_cache_snapshot())
+    for stats in snapshot.values():
+        assert set(stats) == {"hits", "misses", "entries", "hit_rate"}
