@@ -39,7 +39,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 2
     try:
+        # Opt-in cross-process warm start: load the kernel caches before
+        # the command runs and save them back after it succeeds, so
+        # repeated CLI invocations skip the shared combinatorial work.
+        from repro.perf.diskcache import (
+            load_kernel_caches,
+            resolve_cache_path,
+            save_kernel_caches,
+        )
+
+        cache_path = resolve_cache_path(getattr(args, "kernel_cache", None))
+        if cache_path is not None:
+            # missing_ok: the first run creates the file.
+            load_kernel_caches(cache_path, missing_ok=True)
         args.handler(args)
+        if cache_path is not None:
+            save_kernel_caches(cache_path)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -51,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mae",
         description="Module Area Estimator for VLSI layout "
                     "(Chen & Bushnell, DAC 1988 reproduction)",
+    )
+    parser.add_argument(
+        "--kernel-cache", default=None, metavar="FILE",
+        help="persist the probability-kernel caches to FILE across runs "
+             "(loaded before the command, saved after; $MAE_KERNEL_CACHE "
+             "sets a default)",
     )
     sub = parser.add_subparsers(title="commands")
 
@@ -195,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default=None,
                        help="destination JSON file "
                             "(default: BENCH_batch_engine.json)")
+    bench.add_argument("--assert-plan-speedup", type=float, default=None,
+                       metavar="X",
+                       help="fail unless the compiled-plan path is at "
+                            "least X times the batch jobs=1 path")
     bench.set_defaults(handler=_cmd_bench)
 
     return parser
@@ -559,12 +584,24 @@ def _cmd_ablation(args) -> None:
 
 
 def _cmd_bench(args) -> None:
+    from repro.errors import BenchmarkError
     from repro.perf.bench import format_bench_record, run_bench, write_bench_record
 
     record = run_bench(jobs=args.jobs, smoke=args.smoke)
     path = write_bench_record(record, args.output)
     print(format_bench_record(record))
     print(f"trajectory record written to {path}")
+    if args.assert_plan_speedup is not None:
+        ratio = record["speedups"]["synthetic_plan_vs_batch_jobs1"]
+        if ratio < args.assert_plan_speedup:
+            raise BenchmarkError(
+                f"plan path speedup {ratio:.2f}x is below the "
+                f"required {args.assert_plan_speedup:.2f}x"
+            )
+        print(
+            f"plan path speedup {ratio:.2f}x meets the required "
+            f"{args.assert_plan_speedup:.2f}x"
+        )
 
 
 if __name__ == "__main__":

@@ -34,7 +34,8 @@ from repro.core.probability import expected_feedthroughs
 from repro.obs.trace import current_tracer
 from repro.perf.kernels import (
     central_feedthrough_probability,
-    tracks_for_net,
+    feedthrough_mean_for_histogram,
+    tracks_for_histogram,
 )
 from repro.core.results import StandardCellEstimate
 from repro.errors import EstimationError
@@ -213,10 +214,13 @@ def _expected_tracks(
 ) -> Tuple[int, List[Tuple[int, int]]]:
     tracer = current_tracer()
     with tracer.span("sc.tracks") as span:
+        histogram = stats.multi_component_nets
+        # One kernel call covers the whole histogram (a hit returns
+        # every net size's Eq. 3 demand in a single lookup).
+        per_net = tracks_for_histogram(histogram, rows, config.row_spread_mode)
         per_size: List[Tuple[int, int]] = []
         total = 0
-        for components, count in stats.multi_component_nets:
-            tracks = tracks_for_net(components, rows, config.row_spread_mode)
+        for (components, count), tracks in zip(histogram, per_net):
             per_size.append((components, tracks))
             total += tracks * count
         if config.track_model == "shared":
@@ -250,7 +254,12 @@ def _expected_feedthroughs(
     tracer = current_tracer()
     with tracer.span("sc.feedthroughs") as span:
         if rows < 3:
-            # No interior row exists; nothing can straddle a row.
+            # No interior row exists; nothing can straddle a row.  The
+            # span still reports its payload so traced 1- and 2-row
+            # estimates are not empty.
+            if tracer.enabled:
+                span.set("mean", 0.0)
+                span.set("feedthroughs", 0)
             return 0
         if config.feedthrough_model == "two-component":
             probability = central_feedthrough_probability(rows)
@@ -261,13 +270,14 @@ def _expected_feedthroughs(
                 span.set("mean", stats.routed_net_count * probability)
                 span.set("feedthroughs", count)
             return count
-        # General model: per net size D, Eq. 8 at the central row.
-        mean = 0.0
-        for components, count in stats.multi_component_nets:
-            mean += count * central_feedthrough_probability(
-                rows, components, model="general"
-            )
+        # General model: per net size D, Eq. 8 at the central row, the
+        # whole histogram in one kernel call.
+        mean = feedthrough_mean_for_histogram(
+            stats.multi_component_nets, rows, "general"
+        )
+        count = round_up(mean)
         if tracer.enabled:
             span.set("mean", mean)
+            span.set("feedthroughs", count)
             tracer.metrics.incr("feedthrough.mean_sum", mean)
-        return round_up(mean)
+        return count

@@ -57,5 +57,9 @@ class BenchmarkError(ReproError):
     """A perf-trajectory record is malformed or a bench run failed."""
 
 
+class KernelCacheError(ReproError):
+    """An on-disk kernel-cache file is malformed, stale, or unreadable."""
+
+
 class ObservabilityError(ReproError):
     """A trace file or explain report is malformed or inconsistent."""

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import EstimatorConfig
-from repro.core.standard_cell import estimate_standard_cell
 from repro.errors import FloorplanError
 from repro.floorplan.iteration import (
     IterationOutcome,
@@ -27,6 +26,8 @@ from repro.floorplan.shapes import Shape, ShapeList
 from repro.layout.annealing import AnnealingSchedule, timberwolf_1988_schedule
 from repro.layout.standard_cell_flow import layout_standard_cell
 from repro.netlist.model import Module
+from repro.netlist.stats import scan_module
+from repro.perf.plan import EstimationPlan, compile_plan
 from repro.reporting import render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -50,6 +51,37 @@ class IterationComparison:
     @property
     def iteration_reduction(self) -> int:
         return self.with_naive.iterations - self.with_estimator.iterations
+
+
+class PlannedEstimateProvider:
+    """The floor-planning loop's estimate source, backed by compiled
+    plans.
+
+    The loop queries shapes by module name on every pass; this provider
+    holds one :class:`~repro.perf.plan.EstimationPlan` per module and
+    evaluates lazily, caching the resulting single-shape
+    :class:`~repro.floorplan.shapes.ShapeList` — re-planning never
+    re-scans a schematic or recompiles a plan.
+    """
+
+    def __init__(
+        self,
+        plans: Dict[str, EstimationPlan],
+        rows: Optional[int] = None,
+    ):
+        self._plans = plans
+        self._rows = rows
+        self._shapes: Dict[str, ShapeList] = {}
+
+    def __call__(self, name: str) -> ShapeList:
+        shapes = self._shapes.get(name)
+        if shapes is None:
+            estimate = self._plans[name].evaluate(self._rows)
+            shapes = ShapeList.from_dimensions(
+                [(estimate.width, estimate.height)]
+            )
+            self._shapes[name] = shapes
+        return shapes
 
 
 def default_chip_modules() -> List[Module]:
@@ -82,15 +114,21 @@ def run_iteration_experiment(
         raise FloorplanError("module names must be unique")
 
     # Ground truth: one real layout per module at its estimator-chosen
-    # row count.
+    # row count.  Each module is scanned once and compiled into a plan;
+    # the same plan then serves as the loop's estimate provider.
     truths: Dict[str, Shape] = {}
-    mae_shapes: Dict[str, ShapeList] = {}
+    plans: Dict[str, EstimationPlan] = {}
     cell_areas: Dict[str, float] = {}
     for name, module in by_name.items():
-        estimate = estimate_standard_cell(module, process, config)
-        mae_shapes[name] = ShapeList.from_dimensions(
-            [(estimate.width, estimate.height)]
+        stats = scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=config.port_pitch_override or process.port_pitch,
+            power_nets=config.power_nets,
         )
+        plans[name] = compile_plan(stats, process, config)
+        estimate = plans[name].evaluate(config.rows)
         cell_areas[name] = estimate.cell_area
         layout = layout_standard_cell(
             module, process, rows=estimate.rows, seed=seed,
@@ -101,7 +139,7 @@ def run_iteration_experiment(
     names = tuple(sorted(by_name))
     with_estimator = run_iteration_loop(
         names,
-        estimates=lambda name: mae_shapes[name],
+        estimates=PlannedEstimateProvider(plans, rows=config.rows),
         truths=lambda name: truths[name],
         tolerance=tolerance,
         seed=seed,

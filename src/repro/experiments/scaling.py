@@ -14,9 +14,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.config import EstimatorConfig
-from repro.core.standard_cell import estimate_standard_cell
 from repro.layout.annealing import timberwolf_1988_schedule
 from repro.layout.standard_cell_flow import layout_standard_cell
+from repro.netlist.stats import scan_module
+from repro.perf.plan import get_plan
 from repro.reporting import format_percent, render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -72,12 +73,21 @@ def run_scaling_experiment(
             inputs=max(4, gates // 6), outputs=max(2, gates // 10),
             seed=seed + gates, cell_mix=_MIX, locality=locality,
         )
-        upper = estimate_standard_cell(module, process)
-        rows = upper.rows
-        shared = estimate_standard_cell(
-            module, process,
-            EstimatorConfig(rows=rows, track_model="shared"),
+        # Scan once; both the upper-bound and shared-model estimates
+        # come from compiled plans over the same statistics.
+        stats = scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=process.port_pitch,
+            power_nets=EstimatorConfig().power_nets,
         )
+        upper = get_plan(stats, process, EstimatorConfig()).evaluate()
+        rows = upper.rows
+        shared = get_plan(
+            stats, process,
+            EstimatorConfig(rows=rows, track_model="shared"),
+        ).evaluate(rows)
         real = layout_standard_cell(
             module, process, rows=rows, seed=seed, schedule=schedule,
             constrained_routing=True,

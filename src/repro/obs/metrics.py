@@ -72,13 +72,20 @@ class MetricsRegistry:
         """One JSON-ready view of everything observable.
 
         ``{"counters": {...}, "kernels": {name: {hits, misses, entries,
-        hit_rate}}}`` — the ``kernels`` section is read live from this
-        process's kernel caches and matches the shape recorded in
-        ``BENCH_batch_engine.json``.
+        bypasses, hit_rate}}, "plans": {...}, "triangle": {...}}`` —
+        the ``kernels``, ``plans``, and ``triangle`` sections are read
+        live from this process's caches and match the shapes recorded
+        in ``BENCH_batch_engine.json``.
         """
+        # Imported lazily for the same reason as kernel_cache_snapshot.
+        from repro.perf.kernels import surjection_triangle_stats
+        from repro.perf.plan import plan_cache_stats
+
         return {
             "counters": self.counters(),
             "kernels": kernel_cache_snapshot(),
+            "plans": plan_cache_stats(),
+            "triangle": surjection_triangle_stats(),
         }
 
 
@@ -98,6 +105,7 @@ def kernel_cache_snapshot() -> Dict[str, Dict[str, Number]]:
             "hits": stats.hits,
             "misses": stats.misses,
             "entries": stats.entries,
+            "bypasses": stats.bypasses,
             "hit_rate": round(stats.hit_rate, 4),
         }
         for name, stats in sorted(kernel_cache_stats().items())

@@ -267,3 +267,16 @@ def use_tracer(tracer: Union[Tracer, NullTracer]) -> Iterator[None]:
         yield
     finally:
         _current.pop()
+
+
+def reset_current_tracer() -> None:
+    """Drop any installed tracers, restoring the NullTracer default.
+
+    Pool workers call this from their initializer: under the ``fork``
+    start method a worker inherits the parent's tracer stack, and
+    recording into that copy would silently lose the spans (the parent
+    never sees them).  Resetting makes the worker-capture path
+    (:mod:`repro.perf.batch`) trace into a fresh local tracer and ship
+    the records back explicitly.
+    """
+    _current[:] = [_NULL_TRACER]

@@ -1,4 +1,4 @@
-"""Performance subsystem: shared kernels, batch execution, benchmarks.
+"""Performance subsystem: shared kernels, plans, batch execution, benchmarks.
 
 The paper sells the estimator on speed ("a modest amount of computer
 time": < 1.5 CPU s full-custom, < 3 CPU s standard-cell per module on a
@@ -9,17 +9,27 @@ estimators' *math* untouched while removing the repeated work:
 
 * :mod:`repro.perf.kernels` — process-wide memoization of the pure
   combinatorial kernels (Eqs. 2-3 row-spread PMFs, Eq. 3 track counts,
-  Eqs. 8-9 central feed-through probabilities) plus an iterative
-  Stirling-table surjection count, with hit/miss statistics for
+  Eqs. 8-9 central feed-through probabilities) backed by one shared,
+  incrementally-grown Stirling triangle of surjection counts, plus
+  whole-histogram batch kernels, with hit/miss/bypass statistics for
   observability.
+* :mod:`repro.perf.plan` — ``EstimationPlan``: the standard-cell
+  estimator compiled once per module (frozen histogram arrays,
+  pre-resolved process constants) and re-evaluated per row count,
+  bit-identical to the direct path.
 * :mod:`repro.perf.batch` — ``estimate_batch``: scan each module once
   and fan (module x config x methodology) estimation tasks across a
-  process pool, with a deterministic serial path at ``jobs=1`` that is
-  bit-identical to the per-call estimators.
+  process pool whose workers warm-start from the parent's caches, with
+  a deterministic serial path at ``jobs=1`` that is bit-identical to
+  the per-call estimators.
+* :mod:`repro.perf.diskcache` — opt-in on-disk persistence of the
+  kernel caches (``--kernel-cache`` / ``$MAE_KERNEL_CACHE``), versioned
+  and validated on load.
 * :mod:`repro.perf.bench` — the perf-trajectory harness that times the
-  Table 1/2 suites and a large synthetic sweep and writes
-  ``BENCH_batch_engine.json`` so every future PR's speedups (or
-  regressions) land in a machine-readable trajectory.
+  Table 1/2 suites, a large synthetic sweep, the plan-vs-direct paths,
+  and cold-vs-warm pool workers, and writes ``BENCH_batch_engine.json``
+  so every future PR's speedups (or regressions) land in a
+  machine-readable trajectory.
 """
 
 from repro.perf.kernels import (
@@ -27,21 +37,42 @@ from repro.perf.kernels import (
     cache_enabled,
     caches_disabled,
     clear_kernel_caches,
+    install_kernel_caches,
     kernel_cache_stats,
+    kernel_counter_totals,
+    reset_kernel_counters,
     set_cache_enabled,
+    snapshot_kernel_caches,
+    surjection_triangle_stats,
 )
 
-#: Batch-executor symbols are re-exported lazily (PEP 562):
-#: repro.perf.batch imports the estimators, which import
+#: Symbols re-exported lazily (PEP 562): repro.perf.batch and
+#: repro.perf.plan import the estimators, which import
 #: repro.perf.kernels — an eager import here would be circular.
-_BATCH_EXPORTS = ("BatchResult", "BatchTask", "estimate_batch")
+_LAZY_EXPORTS = {
+    "BatchResult": "batch",
+    "BatchTask": "batch",
+    "PoolStats": "batch",
+    "estimate_batch": "batch",
+    "last_pool_stats": "batch",
+    "EstimationPlan": "plan",
+    "compile_plan": "plan",
+    "get_plan": "plan",
+    "plan_cache_stats": "plan",
+    "clear_plan_cache": "plan",
+    "load_kernel_caches": "diskcache",
+    "resolve_cache_path": "diskcache",
+    "save_kernel_caches": "diskcache",
+}
 
 
 def __getattr__(name):
-    if name in _BATCH_EXPORTS:
-        from repro.perf import batch
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(batch, name)
+        module = importlib.import_module(f"repro.perf.{module_name}")
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -49,10 +80,25 @@ __all__ = [
     "BatchResult",
     "BatchTask",
     "CacheStats",
+    "EstimationPlan",
+    "PoolStats",
     "cache_enabled",
     "caches_disabled",
     "clear_kernel_caches",
+    "clear_plan_cache",
+    "compile_plan",
     "estimate_batch",
+    "get_plan",
+    "install_kernel_caches",
     "kernel_cache_stats",
+    "kernel_counter_totals",
+    "last_pool_stats",
+    "load_kernel_caches",
+    "plan_cache_stats",
+    "reset_kernel_counters",
+    "resolve_cache_path",
+    "save_kernel_caches",
     "set_cache_enabled",
+    "snapshot_kernel_caches",
+    "surjection_triangle_stats",
 ]

@@ -21,6 +21,14 @@ process-wide via :mod:`repro.perf.kernels`).
   submission order, so the output is identical to the serial path,
   element for element, regardless of worker scheduling.
 
+Standard-cell tasks evaluate through compiled
+:class:`~repro.perf.plan.EstimationPlan` objects (one compilation per
+module per distinct config family, then one array-at-once evaluation
+per row count), and pool workers no longer cold-start: by default the
+parent's kernel caches, Stirling triangle, and compiled plans are
+snapshot and shipped through the pool initializer (``warm_start``), so
+every worker begins with the parent's warm state.
+
 The sweep helpers (``sweep_rows``, Table 1/2 drivers, the ablations,
 and the ``--jobs`` CLI flag) all route through here.
 """
@@ -35,11 +43,28 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.config import EstimatorConfig
 from repro.core.full_custom import estimate_full_custom
 from repro.core.results import FullCustomEstimate, StandardCellEstimate
-from repro.core.standard_cell import estimate_standard_cell_from_stats
 from repro.errors import EstimationError
 from repro.netlist.model import Module
 from repro.netlist.stats import ModuleStatistics, scan_module
-from repro.obs.trace import Tracer, current_tracer, use_tracer
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    reset_current_tracer,
+    use_tracer,
+)
+from repro.perf.kernels import (
+    clear_kernel_caches,
+    install_kernel_caches,
+    kernel_counter_totals,
+    reset_kernel_counters,
+    snapshot_kernel_caches,
+)
+from repro.perf.plan import (
+    clear_plan_cache,
+    get_plan,
+    install_plans,
+    snapshot_plans,
+)
 from repro.technology.process import ProcessDatabase
 
 #: Methodologies the batch executor understands.
@@ -66,6 +91,29 @@ class BatchResult:
     estimate: Estimate
 
 
+@dataclass(frozen=True)
+class PoolStats:
+    """What the last pooled :func:`estimate_batch` run shipped and how
+    warm its workers ran (per-process cache facts, not tracer counters)."""
+
+    workers: int
+    warm_start: bool
+    shipped_entries: int        # kernel entries + plans in the snapshot
+    worker_hits: int            # summed over all pooled groups
+    worker_misses: int
+    worker_bypasses: int
+
+
+_LAST_POOL_STATS: Optional[PoolStats] = None
+
+
+def last_pool_stats() -> Optional[PoolStats]:
+    """Statistics of the most recent pooled run in this process, or
+    ``None`` if the last :func:`estimate_batch` ran serially (including
+    the silent fallback when workers cannot start)."""
+    return _LAST_POOL_STATS
+
+
 def estimate_batch(
     modules: Sequence[Module],
     process: ProcessDatabase,
@@ -76,6 +124,8 @@ def estimate_batch(
     ],
     methodologies: Iterable[str] = ("standard-cell",),
     jobs: int = 1,
+    warm_start: bool = True,
+    force_pool: bool = False,
 ) -> List[BatchResult]:
     """Estimate every (module x methodology x config) combination.
 
@@ -97,6 +147,16 @@ def estimate_batch(
         per-module task groups across a process pool of that many
         workers (clamped to the host's core count and the number of
         modules).  Output order and values are identical either way.
+    warm_start:
+        When pooling, snapshot this process's kernel caches, Stirling
+        triangle, and compiled plans and install them in every worker
+        via the pool initializer (default).  ``False`` starts workers
+        with cleared caches — the benchmark's cold reference.  Results
+        are bit-identical either way; only the work repeated per
+        worker changes.
+    force_pool:
+        Skip the core-count clamp (benchmarking worker behaviour on
+        hosts with fewer cores than ``jobs``).
 
     Returns
     -------
@@ -128,16 +188,22 @@ def estimate_batch(
         for module, module_configs in zip(modules, per_module_configs)
     ]
 
+    global _LAST_POOL_STATS
+    _LAST_POOL_STATS = None
     with tracer.span("batch.estimate") as batch_span:
         # Worker processes beyond the physical core count (or the group
         # count) are pure spawn/pickle overhead, so clamp before deciding
         # whether a pool is worth starting at all — on a single-core host
         # every jobs value degrades to the fast in-process path.
-        workers = min(jobs, os.cpu_count() or 1, len(groups))
+        # ``force_pool`` skips the core clamp for worker benchmarking.
+        if force_pool:
+            workers = min(jobs, len(groups))
+        else:
+            workers = min(jobs, os.cpu_count() or 1, len(groups))
         if workers <= 1:
             outcomes = [_estimate_module_group(group) for group in groups]
         else:
-            outcomes = _run_pool(groups, workers)
+            outcomes = _run_pool(groups, workers, warm_start)
 
         estimate_lists: List[List[Estimate]] = []
         for estimates, worker_records, worker_counters in outcomes:
@@ -166,11 +232,17 @@ def estimate_batch(
                         )
                     )
         if capture:
-            # Worker count is run-shape, not workload: span payload only,
-            # so serial and jobs>1 runs merge to identical counters.
+            # Worker count and warm-start shipping are run-shape, not
+            # workload: span payload only, so serial and jobs>1 runs
+            # merge to identical counters.
             batch_span.set("workers", workers)
             batch_span.set("groups", len(groups))
             batch_span.set("tasks", len(results))
+            if _LAST_POOL_STATS is not None:
+                batch_span.set("warm_start", _LAST_POOL_STATS.warm_start)
+                batch_span.set(
+                    "warm_entries", _LAST_POOL_STATS.shipped_entries
+                )
             metrics = tracer.metrics
             metrics.incr("batch.calls")
             metrics.incr("batch.groups", len(groups))
@@ -183,22 +255,87 @@ def estimate_batch(
 GroupOutcome = Tuple[List[Estimate], Optional[list], Optional[dict]]
 
 
-def _run_pool(groups: list, workers: int) -> List[GroupOutcome]:
+def _run_pool(
+    groups: list, workers: int, warm_start: bool
+) -> List[GroupOutcome]:
     """Fan the per-module groups across a process pool.
 
     Futures are collected in submission order, so results line up with
     the serial path exactly.  If the platform cannot start worker
     processes (no /dev/shm, sandboxed fork, ...), the batch silently
     degrades to the serial path rather than failing the sweep.
+
+    Every worker runs :func:`_init_worker`: caches are cleared first
+    (so ``fork``-inherited state never blurs the cold/warm distinction)
+    and, when ``warm_start``, the parent's snapshot is installed.
     """
+    global _LAST_POOL_STATS
+    snapshot = None
+    shipped = 0
+    if warm_start:
+        caches = snapshot_kernel_caches()
+        plans = snapshot_plans()
+        shipped = sum(len(c) for c in caches["kernels"].values()) + len(plans)
+        snapshot = {"caches": caches, "plans": plans}
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(snapshot,),
+        ) as pool:
             futures = [
-                pool.submit(_estimate_module_group, group) for group in groups
+                pool.submit(_pooled_module_group, group) for group in groups
             ]
-            return [future.result() for future in futures]
+            packed = [future.result() for future in futures]
     except (OSError, PermissionError, ImportError):
         return [_estimate_module_group(group) for group in groups]
+    hits = misses = bypasses = 0
+    outcomes: List[GroupOutcome] = []
+    for outcome, (group_hits, group_misses, group_bypasses) in packed:
+        hits += group_hits
+        misses += group_misses
+        bypasses += group_bypasses
+        outcomes.append(outcome)
+    _LAST_POOL_STATS = PoolStats(
+        workers=workers,
+        warm_start=warm_start,
+        shipped_entries=shipped,
+        worker_hits=hits,
+        worker_misses=misses,
+        worker_bypasses=bypasses,
+    )
+    return outcomes
+
+
+def _init_worker(snapshot: Optional[dict]) -> None:
+    """Pool-worker initializer: start deterministically cold or warm.
+
+    The explicit clear makes cold workers cold even under the ``fork``
+    start method (which would otherwise inherit the parent's caches via
+    copy-on-write); the counter reset makes the per-worker hit/miss
+    deltas reflect only estimation work, not the install itself.  The
+    tracer reset matters for the same reason: a forked worker inherits
+    the parent's *enabled* tracer, and recording into that copy would
+    bypass the capture path that ships spans back to the parent.
+    """
+    reset_current_tracer()
+    clear_kernel_caches()
+    clear_plan_cache()
+    if snapshot is not None:
+        install_kernel_caches(snapshot["caches"])
+        install_plans(snapshot["plans"])
+    reset_kernel_counters()
+
+
+def _pooled_module_group(group) -> Tuple[GroupOutcome, Tuple[int, int, int]]:
+    """Pool-worker task wrapper: the group outcome plus this group's
+    kernel hit/miss/bypass delta, so the parent can report how much
+    work warm-starting actually saved."""
+    before = kernel_counter_totals()
+    outcome = _estimate_module_group(group)
+    after = kernel_counter_totals()
+    delta = tuple(now - then for now, then in zip(after, before))
+    return outcome, delta
 
 
 def _estimate_module_group(group) -> GroupOutcome:
@@ -251,11 +388,10 @@ def _run_group(module, process, methodologies, configs) -> List[Estimate]:
     for methodology in methodologies:
         for config in configs:
             if methodology == "standard-cell":
-                estimates.append(
-                    estimate_standard_cell_from_stats(
-                        stats_for(config), process, config
-                    )
-                )
+                # Compiled-plan path: one compilation per (stats, config
+                # family), one array-at-once evaluation per row count.
+                plan = get_plan(stats_for(config), process, config)
+                estimates.append(plan.evaluate(config.rows))
             else:
                 estimates.append(
                     estimate_full_custom(

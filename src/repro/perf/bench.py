@@ -8,19 +8,28 @@ This harness times three workloads —
 * a large synthetic sweep (>= 50 generated modules x 8 row counts,
   the floorplan-iteration regime the batch engine exists for)
 
-— under three execution paths:
+— under several execution paths:
 
 * **seed serial**: one estimator call per (module, config) with kernel
   memoization disabled, re-scanning the schematic every call — the
   repository's original behaviour;
 * **batch jobs=1**: :func:`repro.perf.batch.estimate_batch` on one
   process, kernel caches warm — isolates the caching/scan-sharing win;
-* **batch jobs=N**: the same batch across a process pool.
+* **direct jobs=1**: scan once per module, then
+  ``estimate_standard_cell_from_stats`` per row count — the PR 1
+  reference the compiled-plan path is measured against;
+* **plan jobs=1**: compile one :class:`~repro.perf.plan.EstimationPlan`
+  per module and ``evaluate`` it per row count;
+* **pool cold / pool warm**: the same batch across a forced process
+  pool, with workers starting from cleared caches versus warm-started
+  from the parent's snapshot (``warm_start``) — the record reports how
+  many per-worker kernel misses warm-starting eliminated.
 
-It asserts the three paths produce bit-identical estimates, captures
-kernel-cache hit rates, and writes everything to
-``BENCH_batch_engine.json`` (schema-validated, so a malformed
-trajectory file fails fast instead of silently polluting the record).
+It asserts all paths produce bit-identical estimates, captures
+kernel-cache hit rates, plan-cache and Stirling-triangle statistics,
+and writes everything to ``BENCH_batch_engine.json`` (schema-validated,
+so a malformed trajectory file fails fast instead of silently polluting
+the record).
 
 Run it via ``mae bench``, the ``mae-bench`` console script, or
 ``python benchmarks/run_benchmarks.py``; ``--smoke`` keeps CI fast.
@@ -39,12 +48,17 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import EstimatorConfig
 from repro.core.full_custom import estimate_full_custom_both
-from repro.core.standard_cell import estimate_standard_cell
+from repro.core.standard_cell import (
+    estimate_standard_cell,
+    estimate_standard_cell_from_stats,
+)
 from repro.errors import BenchmarkError
 from repro.netlist.model import Module
+from repro.netlist.stats import scan_module
 from repro.obs.metrics import get_registry
-from repro.perf.batch import estimate_batch
+from repro.perf.batch import estimate_batch, last_pool_stats
 from repro.perf.kernels import caches_disabled, clear_kernel_caches
+from repro.perf.plan import clear_plan_cache, compile_plan
 from repro.reporting import render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -59,7 +73,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.suites import table1_suite, table2_suite
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 BENCH_NAME = "batch_engine"
 DEFAULT_OUTPUT = "BENCH_batch_engine.json"
 
@@ -227,8 +241,10 @@ def run_bench(
         return [result.estimate for result in batch]
 
     clear_kernel_caches()
+    clear_plan_cache()
     seed_estimates = timed("synthetic_seed_serial", sweep_items, sweep_seed)
     clear_kernel_caches()
+    clear_plan_cache()
     batch1_estimates = timed("synthetic_batch_jobs1", sweep_items,
                              lambda: sweep_batch(1))
     # The registry snapshot is the supported view of the kernel caches
@@ -237,11 +253,99 @@ def run_bench(
     equivalence["synthetic_jobs1"] = seed_estimates == batch1_estimates
     if jobs > 1:
         clear_kernel_caches()
+        clear_plan_cache()
         batchn_estimates = timed(f"synthetic_batch_jobs{jobs}", sweep_items,
                                  lambda: sweep_batch(jobs))
         equivalence[f"synthetic_jobs{jobs}"] = (
             seed_estimates == batchn_estimates
         )
+
+    # ---- plan path vs the PR 1 direct path ---------------------------
+    # Both phases scan once per module and start from cleared caches, so
+    # the comparison isolates exactly what plan compilation buys: frozen
+    # histogram arrays and whole-histogram kernel calls versus the
+    # per-call histogram walk of estimate_standard_cell_from_stats.
+    default_config = EstimatorConfig()
+    sweep_stats = [
+        scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=process.port_pitch,
+            power_nets=default_config.power_nets,
+        )
+        for module in sweep
+    ]
+
+    def sweep_direct():
+        return [
+            estimate_standard_cell_from_stats(stats, process, config)
+            for stats in sweep_stats
+            for config in sweep_configs
+        ]
+
+    def sweep_plan():
+        estimates = []
+        for stats in sweep_stats:
+            plan = compile_plan(stats, process, default_config)
+            estimates.extend(
+                plan.evaluate(config.rows) for config in sweep_configs
+            )
+        return estimates
+
+    clear_kernel_caches()
+    clear_plan_cache()
+    direct_estimates = timed("synthetic_direct_jobs1", sweep_items,
+                             sweep_direct)
+    clear_kernel_caches()
+    clear_plan_cache()
+    plan_estimates = timed("synthetic_plan_jobs1", sweep_items, sweep_plan)
+    equivalence["synthetic_direct_jobs1"] = seed_estimates == direct_estimates
+    equivalence["synthetic_plan_jobs1"] = seed_estimates == plan_estimates
+    plan_snapshot = get_registry().snapshot()
+    plans_section = plan_snapshot["plans"]
+    triangle_section = plan_snapshot["triangle"]
+
+    # ---- pool workers: cold start vs warm start ----------------------
+    # force_pool bypasses the core clamp so the worker phases measure
+    # real pool behaviour even on single-core CI hosts.  The parent's
+    # caches are warm from the plan phase, which is exactly what the
+    # warm phase ships.
+    warm_section: Optional[dict] = None
+    pool_jobs = max(2, jobs)
+
+    def sweep_pool(warm: bool):
+        batch = estimate_batch(
+            sweep, process, sweep_configs,
+            methodologies=("standard-cell",), jobs=pool_jobs,
+            warm_start=warm, force_pool=True,
+        )
+        return [result.estimate for result in batch]
+
+    pool_cold_estimates = timed("synthetic_pool_cold", sweep_items,
+                                lambda: sweep_pool(False))
+    cold_stats = last_pool_stats()
+    pool_warm_estimates = timed("synthetic_pool_warm", sweep_items,
+                                lambda: sweep_pool(True))
+    warm_stats = last_pool_stats()
+    equivalence["synthetic_pool_cold"] = seed_estimates == pool_cold_estimates
+    equivalence["synthetic_pool_warm"] = seed_estimates == pool_warm_estimates
+    if cold_stats is not None and warm_stats is not None:
+        # Both runs pooled (neither fell back to the serial path).
+        eliminated = (
+            1.0 - warm_stats.worker_misses / cold_stats.worker_misses
+            if cold_stats.worker_misses else 0.0
+        )
+        warm_section = {
+            "available": True,
+            "workers": warm_stats.workers,
+            "entries_shipped": warm_stats.shipped_entries,
+            "cold_worker_misses": cold_stats.worker_misses,
+            "warm_worker_misses": warm_stats.worker_misses,
+            "miss_elimination": round(eliminated, 4),
+        }
+    else:
+        warm_section = {"available": False}
 
     timings = {phase["name"]: phase["seconds"] for phase in phases}
     speedups = {
@@ -261,6 +365,19 @@ def run_bench(
             timings["synthetic_seed_serial"],
             timings[f"synthetic_batch_jobs{jobs}"],
         )
+    speedups["synthetic_plan_vs_direct_jobs1"] = _ratio(
+        timings["synthetic_direct_jobs1"], timings["synthetic_plan_jobs1"]
+    )
+    # The headline plan number: compiled plans versus the PR 1 batch
+    # engine on the same sweep (estimate_batch at jobs=1 re-scans and
+    # re-dispatches per group; the plan phase compiles once per module
+    # and then only evaluates).
+    speedups["synthetic_plan_vs_batch_jobs1"] = _ratio(
+        timings["synthetic_batch_jobs1"], timings["synthetic_plan_jobs1"]
+    )
+    speedups["synthetic_pool_warm_vs_cold"] = _ratio(
+        timings["synthetic_pool_cold"], timings["synthetic_pool_warm"]
+    )
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -281,7 +398,12 @@ def run_bench(
         },
         "phases": phases,
         "speedups": speedups,
-        "cache": {"kernels": cache_snapshot},
+        "cache": {
+            "kernels": cache_snapshot,
+            "plans": plans_section,
+            "triangle": triangle_section,
+        },
+        "warm_start": warm_section,
         "equivalence": equivalence,
     }
 
@@ -340,12 +462,44 @@ def validate_bench_record(record: dict) -> None:
     for name, stats in kernels.items():
         if not isinstance(stats, dict):
             raise BenchmarkError(f"cache stats for {name!r} must be objects")
-        for field in ("hits", "misses", "entries"):
+        for field in ("hits", "misses", "entries", "bypasses"):
             value = _require(stats, field, int, context=f"cache[{name}]")
             if value < 0:
                 raise BenchmarkError(
                     f"cache[{name}].{field} must be >= 0, got {value}"
                 )
+    plans = _require(cache, "plans", dict, context="cache")
+    for field in ("hits", "compilations", "entries", "evaluations"):
+        value = _require(plans, field, int, context="cache[plans]")
+        if value < 0:
+            raise BenchmarkError(
+                f"cache[plans].{field} must be >= 0, got {value}"
+            )
+    triangle = _require(cache, "triangle", dict, context="cache")
+    for field in ("depth", "limit", "extensions", "cells"):
+        value = _require(triangle, field, int, context="cache[triangle]")
+        if value < 0:
+            raise BenchmarkError(
+                f"cache[triangle].{field} must be >= 0, got {value}"
+            )
+
+    warm = _require(record, "warm_start", dict)
+    available = _require(warm, "available", bool, context="warm_start")
+    if available:
+        for field in ("workers", "entries_shipped", "cold_worker_misses",
+                      "warm_worker_misses"):
+            value = _require(warm, field, int, context="warm_start")
+            if value < 0:
+                raise BenchmarkError(
+                    f"warm_start.{field} must be >= 0, got {value}"
+                )
+        elimination = _require(warm, "miss_elimination", (int, float),
+                               context="warm_start")
+        if not 0.0 <= elimination <= 1.0:
+            raise BenchmarkError(
+                f"warm_start.miss_elimination must be within [0, 1], "
+                f"got {elimination}"
+            )
 
     equivalence = _require(record, "equivalence", dict)
     if not equivalence:
@@ -428,9 +582,21 @@ def format_bench_record(record: dict) -> str:
         f"{name} {stats['hit_rate']:.0%}"
         for name, stats in sorted(record["cache"]["kernels"].items())
     )
+    warm = record["warm_start"]
+    if warm.get("available"):
+        warm_line = (
+            f"warm start: {warm['entries_shipped']} entries shipped to "
+            f"{warm['workers']} workers, misses "
+            f"{warm['cold_worker_misses']} cold -> "
+            f"{warm['warm_worker_misses']} warm "
+            f"({warm['miss_elimination']:.0%} eliminated)"
+        )
+    else:
+        warm_line = "warm start: pool unavailable (serial fallback)"
     return (
         f"{table}\nspeedups: {speedups}\n"
-        f"kernel-cache hit rates (jobs=1 sweep): {hit_rates}"
+        f"kernel-cache hit rates (jobs=1 sweep): {hit_rates}\n"
+        f"{warm_line}"
     )
 
 
@@ -453,20 +619,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "validates the record, no timing claims")
     parser.add_argument("--output", default=None,
                         help=f"destination JSON (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--assert-plan-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the compiled-plan path is at "
+                             "least X times the direct path (CI guard "
+                             "against plan-path regressions)")
+    parser.add_argument("--kernel-cache", default=None, metavar="FILE",
+                        help="load kernel caches from FILE before the run "
+                             "and save them back after (also honours "
+                             "$MAE_KERNEL_CACHE)")
     args = parser.parse_args(argv)
 
+    from repro.errors import KernelCacheError
+    from repro.perf.diskcache import (
+        load_kernel_caches,
+        resolve_cache_path,
+        save_kernel_caches,
+    )
+
     try:
+        cache_path = resolve_cache_path(args.kernel_cache)
+        if cache_path is not None:
+            load_kernel_caches(cache_path, missing_ok=True)
         record = run_bench(jobs=args.jobs, module_count=args.modules,
                            smoke=args.smoke)
         path = write_bench_record(record, args.output)
         # Round-trip through the validator so a malformed file on disk
         # fails here, not in the next PR's trajectory tooling.
         load_bench_record(path)
-    except BenchmarkError as exc:
+        if cache_path is not None:
+            save_kernel_caches(cache_path)
+    except (BenchmarkError, KernelCacheError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(format_bench_record(record))
     print(f"trajectory record written to {path}")
+    if args.assert_plan_speedup is not None:
+        ratio = record["speedups"]["synthetic_plan_vs_batch_jobs1"]
+        if ratio < args.assert_plan_speedup:
+            print(
+                f"error: plan path speedup {ratio:.2f}x is below the "
+                f"required {args.assert_plan_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"plan path speedup {ratio:.2f}x meets the required "
+            f"{args.assert_plan_speedup:.2f}x"
+        )
     return 0
 
 

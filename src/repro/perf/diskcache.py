@@ -1,0 +1,230 @@
+"""Opt-in on-disk persistence for the kernel caches.
+
+The process-wide caches of :mod:`repro.perf.kernels` die with the
+process, so every ``mae`` invocation and every benchmark run re-derives
+the same surjection tables and PMFs.  This module serializes the caches
+(plus the shared Stirling triangle) to a JSON file so repeated CLI runs
+warm-start across processes::
+
+    mae --kernel-cache ~/.cache/mae-kernels.json table2
+    MAE_KERNEL_CACHE=~/.cache/mae-kernels.json mae bench
+
+Design constraints:
+
+* **Bit-identical round trip.**  JSON floats round-trip exactly in
+  Python (``repr``-based), and JSON integers are arbitrary precision,
+  so a loaded value is the very object a cache miss would recompute.
+  Tuples become lists on disk and are restored recursively on load.
+* **Loud failure, never a half-load.**  :func:`load_kernel_caches`
+  stages and validates the entire file — schema version, known kernel
+  names, per-kernel key arity, a full recurrence check of the triangle
+  — before touching any live cache.  Any problem raises
+  :class:`~repro.errors.KernelCacheError` and leaves this process's
+  caches exactly as they were.
+* **Versioned.**  ``DISK_SCHEMA_VERSION`` bumps whenever a kernel's
+  key or value shape changes; stale files are rejected, not guessed at.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import KernelCacheError
+from repro.perf.kernels import (
+    _KERNELS,
+    install_kernel_caches,
+    snapshot_kernel_caches,
+)
+
+#: Bump when any kernel's key/value shape changes.
+DISK_SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache file (``--kernel-cache`` wins).
+ENV_VAR = "MAE_KERNEL_CACHE"
+
+#: Expected key arity per kernel, the cheap structural check that
+#: catches files written by a different kernel registry.
+_KEY_ARITY = {
+    "surjection_table": 2,
+    "row_spread_pmf": 3,
+    "expected_row_spread": 3,
+    "tracks_for_net": 3,
+    "central_feedthrough_probability": 3,
+    "tracks_for_histogram": 3,
+    "feedthrough_mean_for_histogram": 3,
+}
+
+
+def resolve_cache_path(explicit: Optional[str] = None) -> Optional[Path]:
+    """The cache file to use: the explicit CLI value, else ``$MAE_KERNEL_CACHE``,
+    else ``None`` (persistence disabled)."""
+    value = explicit or os.environ.get(ENV_VAR)
+    return Path(value).expanduser() if value else None
+
+
+def save_kernel_caches(path: Union[str, Path]) -> Path:
+    """Write this process's kernel caches (and triangle) to ``path``.
+
+    The write is atomic (temp file + rename) so a crash mid-write never
+    leaves a truncated cache for the next run to choke on.
+    """
+    path = Path(path)
+    snapshot = snapshot_kernel_caches()
+    payload = {
+        "schema_version": DISK_SCHEMA_VERSION,
+        "kernels": {
+            name: [[list(key), _encode(value)] for key, value in cache.items()]
+            for name, cache in snapshot["kernels"].items()
+        },
+        "triangle": snapshot["triangle"],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise KernelCacheError(
+            f"cannot write kernel cache {path}: {exc}"
+        ) from exc
+    return path
+
+
+def load_kernel_caches(
+    path: Union[str, Path], missing_ok: bool = False
+) -> int:
+    """Validate ``path`` and merge its entries into the live caches.
+
+    Returns the number of kernel entries installed (0 when
+    ``missing_ok`` and the file does not exist).  Raises
+    :class:`KernelCacheError` on any structural problem — schema
+    mismatch, unknown kernel, wrong key shape, or a triangle that
+    violates its own recurrence — *before* any live cache is touched.
+    """
+    path = Path(path)
+    if missing_ok and not path.exists():
+        return 0
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise KernelCacheError(
+            f"cannot read kernel cache {path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise KernelCacheError(
+            f"kernel cache {path} is not valid JSON: {exc}"
+        ) from exc
+
+    staged = _validate(payload, source=str(path))
+    # Validation complete: installing cannot fail halfway.
+    return install_kernel_caches(staged)
+
+
+def _validate(payload: object, source: str) -> dict:
+    """Structural validation; returns an installable snapshot dict."""
+    if not isinstance(payload, dict):
+        raise KernelCacheError(f"{source}: cache file must be a JSON object")
+    version = payload.get("schema_version")
+    if version != DISK_SCHEMA_VERSION:
+        raise KernelCacheError(
+            f"{source}: unsupported schema_version {version!r} "
+            f"(expected {DISK_SCHEMA_VERSION}); delete the file and let "
+            "the next run regenerate it"
+        )
+
+    kernels = payload.get("kernels")
+    if not isinstance(kernels, dict):
+        raise KernelCacheError(f"{source}: 'kernels' must be an object")
+    unknown = set(kernels) - set(_KERNELS)
+    if unknown:
+        raise KernelCacheError(
+            f"{source}: unknown kernels {sorted(unknown)} — the file was "
+            "written by an incompatible version"
+        )
+
+    staged_kernels = {}
+    for name, entries in kernels.items():
+        if not isinstance(entries, list):
+            raise KernelCacheError(
+                f"{source}: kernels[{name!r}] must be a list of "
+                "[key, value] pairs"
+            )
+        arity = _KEY_ARITY.get(name)
+        cache = {}
+        for entry in entries:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise KernelCacheError(
+                    f"{source}: kernels[{name!r}] entry {entry!r:.60} is "
+                    "not a [key, value] pair"
+                )
+            raw_key, raw_value = entry
+            if not isinstance(raw_key, list) or (
+                arity is not None and len(raw_key) != arity
+            ):
+                raise KernelCacheError(
+                    f"{source}: kernels[{name!r}] key {raw_key!r:.60} has "
+                    f"the wrong shape (expected {arity} components)"
+                )
+            cache[_decode(raw_key)] = _decode(raw_value)
+        staged_kernels[name] = cache
+
+    triangle = payload.get("triangle")
+    if triangle is not None:
+        _validate_triangle(triangle, source)
+
+    return {"kernels": staged_kernels, "triangle": triangle}
+
+
+def _validate_triangle(triangle: object, source: str) -> None:
+    """Full recurrence check: b(d, i) = i * (b(d-1, i) + b(d-1, i-1)).
+
+    O(cells) integer work — cheap next to recomputing the triangle —
+    and it catches every corrupted cell, not just shape errors.
+    """
+    if not isinstance(triangle, dict):
+        raise KernelCacheError(f"{source}: 'triangle' must be an object")
+    limit = triangle.get("limit")
+    rows = triangle.get("rows")
+    if not isinstance(limit, int) or limit < 0 or not isinstance(rows, list):
+        raise KernelCacheError(
+            f"{source}: triangle needs an integer 'limit' and a 'rows' list"
+        )
+    for d, row in enumerate(rows, start=1):
+        if not isinstance(row, list) or len(row) != limit:
+            raise KernelCacheError(
+                f"{source}: triangle row {d} has length "
+                f"{len(row) if isinstance(row, list) else '?'}, "
+                f"expected {limit}"
+            )
+        for i, value in enumerate(row, start=1):
+            if not isinstance(value, int):
+                raise KernelCacheError(
+                    f"{source}: triangle cell ({d}, {i}) is not an integer"
+                )
+            if d == 1:
+                expected = 1 if i == 1 else 0
+            else:
+                prev = rows[d - 2]
+                left = prev[i - 2] if i >= 2 else 0
+                expected = i * (prev[i - 1] + left)
+            if value != expected:
+                raise KernelCacheError(
+                    f"{source}: triangle cell ({d}, {i}) = {value} violates "
+                    f"the surjection recurrence (expected {expected}) — "
+                    "the file is corrupt"
+                )
+
+
+def _encode(value):
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    return value
+
+
+def _decode(value):
+    if isinstance(value, list):
+        return tuple(_decode(item) for item in value)
+    return value

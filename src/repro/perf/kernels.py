@@ -24,12 +24,16 @@ Two guarantees:
   survives only as a test oracle
   (:func:`repro.core.probability.surjection_count_recurrence`).
 
-Cache statistics (hits/misses/entries per kernel) are exposed through
-:func:`kernel_cache_stats` so benchmarks and long-running services can
-observe hit rates; :func:`set_cache_enabled` /
+Cache statistics (hits/misses/entries/bypasses per kernel) are exposed
+through :func:`kernel_cache_stats` so benchmarks and long-running
+services can observe hit rates; :func:`set_cache_enabled` /
 :func:`caches_disabled` exist for baseline measurements and
-equivalence tests.  Caches are per-process: worker processes spawned by
-:mod:`repro.perf.batch` each warm their own.
+equivalence tests.  Caches are per-process, but no longer cold-start
+in workers: :func:`snapshot_kernel_caches` /
+:func:`install_kernel_caches` let :mod:`repro.perf.batch` ship the
+parent's entries (and the shared Stirling triangle) through a pool
+initializer, and :mod:`repro.perf.diskcache` persists them across
+processes entirely.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ from __future__ import annotations
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EstimationError
 from repro.units import round_up
@@ -52,11 +56,18 @@ ROW_SPREAD_MODES = ("paper", "exact")
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CacheStats:
-    """Observability snapshot for one kernel cache."""
+    """Observability snapshot for one kernel cache.
+
+    ``bypasses`` counts calls made while memoization was globally
+    disabled (:func:`caches_disabled` baseline runs).  They are neither
+    hits nor misses — the cache was never consulted — so they are
+    excluded from :attr:`hit_rate`.
+    """
 
     hits: int
     misses: int
     entries: int
+    bypasses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -71,26 +82,36 @@ class _Kernel:
     ``functools.lru_cache`` it exposes hit/miss counters, can be
     disabled globally (for baseline timings and equivalence tests),
     and never evicts — the key space is tiny (net sizes x row counts).
+
+    ``fast`` is an optional alternative implementation used to fill
+    cache misses (the shared Stirling triangle below); the plain
+    ``func`` remains the bypass path so disabled-cache baseline runs
+    time the true seed arithmetic.
     """
 
-    __slots__ = ("func", "name", "cache", "hits", "misses")
+    __slots__ = ("func", "fast", "name", "cache", "hits", "misses",
+                 "bypasses")
 
-    def __init__(self, func: Callable):
+    def __init__(self, func: Callable, fast: Optional[Callable] = None):
         self.func = func
+        self.fast = fast if fast is not None else func
         self.name = func.__name__.lstrip("_")
         self.cache: Dict[tuple, object] = {}
         self.hits = 0
         self.misses = 0
+        self.bypasses = 0
 
     def __call__(self, *key):
         if not _cache_state["enabled"]:
-            self.misses += 1
+            # Not a miss: the cache was never consulted, so baseline
+            # runs must not skew the hit rate.
+            self.bypasses += 1
             return self.func(*key)
         try:
             value = self.cache[key]
         except KeyError:
             self.misses += 1
-            value = self.func(*key)
+            value = self.fast(*key)
             self.cache[key] = value
             return value
         self.hits += 1
@@ -100,17 +121,19 @@ class _Kernel:
         self.cache.clear()
         self.hits = 0
         self.misses = 0
+        self.bypasses = 0
 
     def stats(self) -> CacheStats:
-        return CacheStats(self.hits, self.misses, len(self.cache))
+        return CacheStats(self.hits, self.misses, len(self.cache),
+                          self.bypasses)
 
 
 _cache_state = {"enabled": True}
 _KERNELS: Dict[str, _Kernel] = {}
 
 
-def _kernel(func: Callable) -> _Kernel:
-    wrapper = _Kernel(func)
+def _kernel(func: Callable, fast: Optional[Callable] = None) -> _Kernel:
+    wrapper = _Kernel(func, fast)
     _KERNELS[wrapper.name] = wrapper
     return wrapper
 
@@ -121,9 +144,71 @@ def kernel_cache_stats() -> Dict[str, CacheStats]:
 
 
 def clear_kernel_caches() -> None:
-    """Drop all cached values and reset the counters."""
+    """Drop all cached values (including the shared Stirling triangle)
+    and reset the counters."""
     for kernel in _KERNELS.values():
         kernel.clear()
+    _TRIANGLE.clear()
+
+
+def reset_kernel_counters() -> None:
+    """Zero the hit/miss/bypass counters without dropping any entries.
+
+    Pool workers call this after a warm-start install so their reported
+    statistics reflect only the work they actually performed.
+    """
+    for kernel in _KERNELS.values():
+        kernel.hits = 0
+        kernel.misses = 0
+        kernel.bypasses = 0
+
+
+def kernel_counter_totals() -> Tuple[int, int, int]:
+    """Total (hits, misses, bypasses) across every kernel cache."""
+    hits = misses = bypasses = 0
+    for kernel in _KERNELS.values():
+        hits += kernel.hits
+        misses += kernel.misses
+        bypasses += kernel.bypasses
+    return hits, misses, bypasses
+
+
+def snapshot_kernel_caches() -> dict:
+    """A picklable copy of every kernel cache plus the triangle.
+
+    This is what :func:`repro.perf.batch.estimate_batch` ships to pool
+    workers (warm start) and what the on-disk cache
+    (:mod:`repro.perf.diskcache`) serializes.
+    """
+    return {
+        "kernels": {
+            name: dict(kernel.cache) for name, kernel in _KERNELS.items()
+        },
+        "triangle": _TRIANGLE.snapshot(),
+    }
+
+
+def install_kernel_caches(snapshot: dict) -> int:
+    """Merge a :func:`snapshot_kernel_caches` snapshot into this
+    process's caches; returns the number of entries installed.
+
+    Unknown kernel names are rejected (a snapshot from a different code
+    version must fail loudly, not half-install).
+    """
+    kernels = snapshot.get("kernels", {})
+    unknown = set(kernels) - set(_KERNELS)
+    if unknown:
+        raise EstimationError(
+            f"kernel-cache snapshot names unknown kernels {sorted(unknown)}"
+        )
+    installed = 0
+    for name, entries in kernels.items():
+        _KERNELS[name].cache.update(entries)
+        installed += len(entries)
+    triangle = snapshot.get("triangle")
+    if triangle is not None:
+        _TRIANGLE.install(triangle)
+    return installed
 
 
 def cache_enabled() -> bool:
@@ -176,7 +261,111 @@ def _surjection_table(components: int, limit: int) -> Tuple[int, ...]:
     return tuple(counts)
 
 
-surjection_table_kernel = _kernel(_surjection_table)
+class _SurjectionTriangle:
+    """One process-wide triangle of surjection counts b(d, i).
+
+    :func:`_surjection_table` redoes an O(D * limit) Stirling pass per
+    distinct (D, limit) key.  Across a sweep the keys overlap heavily —
+    (D, 2), (D, 3), ... all recompute the same prefix — so this class
+    keeps a single triangle ``b(d, i) = i! * Stirling2(d, i)`` that
+    only ever *extends*: new depth appends rows, new limit appends
+    columns, and every previously computed cell is reused.  The
+    recurrence (from S2(d, i) = i*S2(d-1, i) + S2(d-1, i-1), multiplied
+    through by i!)::
+
+        b(d, i) = i * (b(d-1, i) + b(d-1, i-1))
+
+    with the virtual row b(0, 0) = 1, b(0, i>0) = 0.  All-integer
+    arithmetic, so the values are exactly those of
+    :func:`_surjection_table`.
+    """
+
+    __slots__ = ("_rows", "_limit", "extensions")
+
+    def __init__(self) -> None:
+        self.clear()
+
+    def clear(self) -> None:
+        #: _rows[d - 1][i - 1] == b(d, i), i = 1.._limit
+        self._rows: List[List[int]] = []
+        self._limit = 0
+        self.extensions = 0
+
+    def table(self, components: int, limit: int) -> Tuple[int, ...]:
+        """b(components, 1..limit), growing the triangle as needed."""
+        _check_positive("components", components)
+        _check_positive("limit", limit)
+        if components > len(self._rows) or limit > self._limit:
+            self._grow(max(components, len(self._rows)),
+                       max(limit, self._limit))
+        return tuple(self._rows[components - 1][:limit])
+
+    def _grow(self, depth: int, limit: int) -> None:
+        self.extensions += 1
+        rows = self._rows
+        # Columns first, d ascending, so row d-1 is already extended
+        # when row d reads b(d-1, limit).
+        if limit > self._limit:
+            for d, row in enumerate(rows, start=1):
+                if d == 1:
+                    row.extend(
+                        1 if i == 1 else 0
+                        for i in range(self._limit + 1, limit + 1)
+                    )
+                    continue
+                prev = rows[d - 2]
+                for i in range(self._limit + 1, limit + 1):
+                    left = prev[i - 2] if i >= 2 else 0
+                    row.append(i * (prev[i - 1] + left))
+            self._limit = limit
+        elif not rows:
+            self._limit = limit
+        # Then new rows at the (possibly new) full width.
+        for d in range(len(rows) + 1, depth + 1):
+            if d == 1:
+                rows.append(
+                    [1 if i == 1 else 0 for i in range(1, self._limit + 1)]
+                )
+                continue
+            prev = rows[d - 2]
+            row = []
+            for i in range(1, self._limit + 1):
+                left = prev[i - 2] if i >= 2 else 0
+                row.append(i * (prev[i - 1] + left))
+            rows.append(row)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "depth": len(self._rows),
+            "limit": self._limit,
+            "extensions": self.extensions,
+            "cells": len(self._rows) * self._limit,
+        }
+
+    def snapshot(self) -> dict:
+        return {
+            "limit": self._limit,
+            "rows": [list(row) for row in self._rows],
+        }
+
+    def install(self, snapshot: dict) -> None:
+        """Adopt a snapshot if it extends what this process already has."""
+        rows = snapshot.get("rows", [])
+        limit = snapshot.get("limit", 0)
+        if len(rows) > len(self._rows) or limit > self._limit:
+            self._rows = [list(row) for row in rows]
+            self._limit = limit
+
+
+_TRIANGLE = _SurjectionTriangle()
+
+
+def surjection_triangle_stats() -> Dict[str, int]:
+    """Depth/limit/extension statistics for the shared triangle."""
+    return _TRIANGLE.stats()
+
+
+surjection_table_kernel = _kernel(_surjection_table, fast=_TRIANGLE.table)
 
 
 def surjection_table(components: int, limit: int) -> Tuple[int, ...]:
@@ -325,6 +514,91 @@ def central_feedthrough_probability(
 ) -> float:
     """Memoized feed-through probability at the central row (Eqs. 8-9)."""
     return central_feedthrough_probability_kernel(rows, components, model)
+
+
+# ----------------------------------------------------------------------
+# whole-histogram batch kernels
+# ----------------------------------------------------------------------
+def _tracks_for_histogram(
+    histogram: Tuple[Tuple[int, int], ...], rows: int, mode: str
+) -> Tuple[int, ...]:
+    return tuple(
+        _tracks_for_net(components, rows, mode) for components, _ in histogram
+    )
+
+
+def _tracks_for_histogram_fast(
+    histogram: Tuple[Tuple[int, int], ...], rows: int, mode: str
+) -> Tuple[int, ...]:
+    return tuple(
+        tracks_for_net_kernel(components, rows, mode)
+        for components, _ in histogram
+    )
+
+
+tracks_for_histogram_kernel = _kernel(
+    _tracks_for_histogram, fast=_tracks_for_histogram_fast
+)
+
+
+def tracks_for_histogram(
+    net_size_histogram: Sequence[Tuple[int, int]],
+    rows: int,
+    mode: str = "paper",
+) -> Tuple[int, ...]:
+    """Per-net-size track demands for a whole (D, y_D) histogram.
+
+    One kernel call per estimate instead of one per net size: a cache
+    hit returns every net's Eq. 3 track count in one lookup, and a miss
+    fills in via the per-net kernel (so partial overlap across
+    histograms is still exploited).  The result aligns with the
+    histogram: ``result[k]`` is the track demand of one net of size
+    ``net_size_histogram[k][0]``.
+    """
+    return tracks_for_histogram_kernel(tuple(net_size_histogram), rows, mode)
+
+
+def _feedthrough_mean_for_histogram(
+    histogram: Tuple[Tuple[int, int], ...], rows: int, model: str
+) -> float:
+    mean = 0.0
+    for components, count in histogram:
+        mean += count * _central_feedthrough_probability(
+            rows, components, model
+        )
+    return mean
+
+
+def _feedthrough_mean_for_histogram_fast(
+    histogram: Tuple[Tuple[int, int], ...], rows: int, model: str
+) -> float:
+    mean = 0.0
+    for components, count in histogram:
+        mean += count * central_feedthrough_probability_kernel(
+            rows, components, model
+        )
+    return mean
+
+
+feedthrough_mean_for_histogram_kernel = _kernel(
+    _feedthrough_mean_for_histogram, fast=_feedthrough_mean_for_histogram_fast
+)
+
+
+def feedthrough_mean_for_histogram(
+    net_size_histogram: Sequence[Tuple[int, int]],
+    rows: int,
+    model: str = "general",
+) -> float:
+    """Expected central-row feed-through mass for a whole histogram.
+
+    The Eq. 10 mean ``sum_D y_D * P_central(n, D)`` accumulated in
+    histogram order — float addition order is preserved, so the value
+    is bit-identical to the per-net loop it replaces.
+    """
+    return feedthrough_mean_for_histogram_kernel(
+        tuple(net_size_histogram), rows, model
+    )
 
 
 # ----------------------------------------------------------------------

@@ -59,7 +59,15 @@ class TestMetricsRegistry:
         assert snapshot["counters"] == {"scan.modules": 2}
         assert set(snapshot["kernels"]) == set(kernel_cache_snapshot())
         for stats in snapshot["kernels"].values():
-            assert set(stats) == {"hits", "misses", "entries", "hit_rate"}
+            assert set(stats) == {
+                "hits", "misses", "entries", "bypasses", "hit_rate"
+            }
+        assert set(snapshot["plans"]) == {
+            "hits", "compilations", "entries", "evaluations"
+        }
+        assert set(snapshot["triangle"]) == {
+            "depth", "limit", "extensions", "cells"
+        }
 
     def test_default_registry_is_shared(self):
         assert get_registry() is get_registry()
@@ -107,10 +115,18 @@ class TestBatchMetricsMerge:
         assert [r.estimate for r in serial_results] == [
             r.estimate for r in parallel_results
         ]
-        assert (
-            serial_tracer.metrics.counters()
-            == parallel_tracer.metrics.counters()
-        )
+        serial = serial_tracer.metrics.counters()
+        parallel = parallel_tracer.metrics.counters()
+        # Integer counters are exactly equal; float counters are summed
+        # per worker group before the parent merge, so a real pool (on a
+        # multi-core host) may differ from the serial sum in the last
+        # few ulps.
+        assert set(serial) == set(parallel)
+        for name, value in serial.items():
+            if isinstance(value, int) and isinstance(parallel[name], int):
+                assert value == parallel[name], name
+            else:
+                assert parallel[name] == pytest.approx(value), name
 
     def test_counters_cover_the_whole_workload(self, nmos):
         tracer, results = _traced_batch(nmos, jobs=1)
@@ -180,4 +196,8 @@ def test_bench_reads_kernel_stats_from_registry(tmp_path):
     snapshot = record["cache"]["kernels"]
     assert set(snapshot) == set(kernel_cache_snapshot())
     for stats in snapshot.values():
-        assert set(stats) == {"hits", "misses", "entries", "hit_rate"}
+        assert set(stats) == {
+            "hits", "misses", "entries", "bypasses", "hit_rate"
+        }
+    assert record["cache"]["plans"]["compilations"] > 0
+    assert record["cache"]["triangle"]["depth"] > 0

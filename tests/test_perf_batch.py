@@ -169,15 +169,28 @@ class TestKernelCache:
             for s in stats.values()
         )
 
-    def test_caches_disabled_records_misses_only(self, nmos):
+    def test_caches_disabled_records_bypasses_not_misses(self, nmos):
+        """A disabled-cache call is a *bypass*: it is not a miss (the
+        cache was never consulted) and must not drag down hit_rate."""
         clear_kernel_caches()
         module = synthetic_sweep_modules(1)[0]
         with caches_disabled():
             estimate_standard_cell(module, nmos, EstimatorConfig(rows=3))
             stats = kernel_cache_stats()
-            assert all(s.hits == 0 and s.entries == 0
+            assert all(s.hits == 0 and s.misses == 0 and s.entries == 0
                        for s in stats.values())
-            assert any(s.misses > 0 for s in stats.values())
+            assert any(s.bypasses > 0 for s in stats.values())
+            assert all(s.hit_rate == 0.0 for s in stats.values())
+        # Re-enabled: the same call is a miss again, and the bypass
+        # count is excluded from the hit-rate denominator.
+        estimate_standard_cell(module, nmos, EstimatorConfig(rows=3))
+        stats = kernel_cache_stats()
+        assert any(s.misses > 0 for s in stats.values())
+        bypassed = [s for s in stats.values() if s.bypasses > 0]
+        assert bypassed
+        for s in bypassed:
+            if s.hits or s.misses:
+                assert s.hit_rate == s.hits / (s.hits + s.misses)
 
 
 class TestBenchRecord:
