@@ -42,6 +42,7 @@ from repro.errors import (
     ParseError,
     ReproError,
     TechnologyError,
+    VerificationError,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -101,6 +102,7 @@ __all__ = [
     "StandardCellEstimate",
     "TechnologyError",
     "Tracer",
+    "VerificationError",
     "cmos_process",
     "current_tracer",
     "estimate_full_custom",

@@ -222,6 +222,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "least X times the batch jobs=1 path")
     bench.set_defaults(handler=_cmd_bench)
 
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: estimator vs layout oracles "
+             "over a seeded corpus, plus bit-identity invariants",
+    )
+    verify.add_argument("--seeds", type=int, default=25, metavar="N",
+                        help="number of corpus cases to draw (default: 25)")
+    verify.add_argument("--base-seed", type=int, default=0, metavar="S",
+                        help="corpus base seed (default: 0); the whole "
+                             "sweep is deterministic in this value")
+    verify.add_argument("--report", default=None, metavar="FILE",
+                        help="write the drift-gate report JSON "
+                             "(e.g. VERIFY_envelope.json)")
+    verify.add_argument("--records", default=None, metavar="FILE",
+                        help="persist failing cases as replayable seed "
+                             "records (default: VERIFY_failures.json, "
+                             "written only when failures occur)")
+    verify.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run the seed records in FILE instead of "
+                             "drawing a fresh corpus")
+    verify.add_argument("--skip-envelope", action="store_true",
+                        help="invariants and metamorphic checks only "
+                             "(no layout oracles; the fast CI smoke mode)")
+    verify.add_argument("--inject", type=float, default=None, metavar="X",
+                        help="self-test: scale the direct standard-cell "
+                             "path by X and require the harness to catch "
+                             "the divergence")
+    _add_jobs_argument(verify)
+    verify.set_defaults(handler=_cmd_verify)
+
     return parser
 
 
@@ -602,6 +632,104 @@ def _cmd_bench(args) -> None:
             f"plan path speedup {ratio:.2f}x meets the required "
             f"{args.assert_plan_speedup:.2f}x"
         )
+
+
+def _cmd_verify(args) -> None:
+    from contextlib import nullcontext
+
+    from repro.errors import VerificationError
+    from repro.verify import (
+        VerifyOptions,
+        load_records,
+        perturbed_standard_cell,
+        replay_records,
+        run_verify,
+        save_records,
+    )
+
+    if args.replay is not None:
+        records = load_records(args.replay)
+        if not records:
+            print(f"{args.replay}: no records to replay")
+            return
+        reproduced = 0
+        for record, result in replay_records(records):
+            status = "still failing" if not result.passed else "fixed"
+            if not result.passed:
+                reproduced += 1
+            print(f"  {record.spec.label}: {record.check} {status}"
+                  + (f" ({result.detail})" if result.detail else ""))
+        print(f"replayed {len(records)} record(s): {reproduced} still "
+              f"failing, {len(records) - reproduced} fixed")
+        if reproduced:
+            raise VerificationError(
+                f"{reproduced} replayed failure(s) still reproduce"
+            )
+        return
+
+    options = VerifyOptions(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        jobs=args.jobs,
+        check_envelope=not args.skip_envelope,
+    )
+    injection = (
+        perturbed_standard_cell(args.inject)
+        if args.inject is not None
+        else nullcontext()
+    )
+    with injection:
+        report = run_verify(options)
+
+    for name, counts in sorted(report.check_counts.items()):
+        total = counts["passed"] + counts["failed"]
+        marker = "ok " if counts["failed"] == 0 else "FAIL"
+        print(f"  {marker} {name}: {counts['passed']}/{total}")
+    for methodology, summary in report.envelope_summary.items():
+        if not summary["cases"]:
+            continue
+        print(
+            f"  envelope[{methodology}]: {summary['cases']} cases, error "
+            f"{summary['min_error']:+.3f}..{summary['max_error']:+.3f} "
+            f"(bounds {summary['bounds']['low']:+.2f}.."
+            f"{summary['bounds']['high']:+.2f}), "
+            f"{summary['violations']} violation(s)"
+        )
+    print(f"gates: " + ", ".join(
+        f"{stage}={'pass' if ok else 'FAIL'}"
+        for stage, ok in report.gates.items()
+    ))
+
+    if args.report is not None:
+        path = report.save(args.report)
+        print(f"report written to {path}")
+    if report.failures:
+        records_path = args.records or "VERIFY_failures.json"
+        save_records(records_path, report.failures)
+        print(f"{len(report.failures)} failing seed record(s) written to "
+              f"{records_path}")
+        for record in report.failures[:5]:
+            shrunk = (
+                f", shrunk to {record.shrunk_device_count} device(s)"
+                if record.shrunk_device_count is not None
+                else ""
+            )
+            print(f"  {record.spec.label}: {record.check}{shrunk}")
+
+    if args.inject is not None:
+        if report.passed:
+            raise VerificationError(
+                f"injected perturbation x{args.inject} was NOT caught — "
+                "the harness is blind"
+            )
+        print(f"injected perturbation x{args.inject} caught as expected")
+        return
+    if not report.passed:
+        raise VerificationError(
+            "verification failed: "
+            + ", ".join(s for s, ok in report.gates.items() if not ok)
+        )
+    print(f"verify: {len(report.cases)} cases, all gates passed")
 
 
 if __name__ == "__main__":

@@ -63,3 +63,8 @@ class KernelCacheError(ReproError):
 
 class ObservabilityError(ReproError):
     """A trace file or explain report is malformed or inconsistent."""
+
+
+class VerificationError(ReproError):
+    """The differential verification harness found a violated invariant,
+    or a verify artifact (seed record, report) is malformed."""

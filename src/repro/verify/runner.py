@@ -1,0 +1,448 @@
+"""The differential verification runner.
+
+Orchestrates one ``mae verify`` sweep end to end, with a tracer span
+per stage (``verify.corpus`` → ``verify.equivalence`` →
+``verify.metamorphic`` → ``verify.envelope`` → ``verify.shrink``):
+
+1. **Corpus** — draw seeded :class:`~repro.verify.corpus.CaseSpec`
+   recipes and build their modules (standard-cell cases estimate
+   against the CMOS process, full-custom against nMOS, matching the
+   paper's Table 2 / Table 1 technologies).
+2. **Equivalence** — every bit-identity claim from the perf PRs, per
+   module plus the corpus-wide batch ``jobs=1`` vs ``jobs=N`` and
+   disk-cache round-trip checks.
+3. **Metamorphic** — cross-input properties, including area
+   monotonicity over grown random modules (prefix-aligned seeds keep
+   the smaller module a strict sub-construction of the larger).
+4. **Envelope** — estimator vs layout oracle, per-case relative error
+   inside :class:`~repro.verify.envelope.EnvelopeBounds`.
+5. **Shrink** — every failure is greedily minimised while it still
+   reproduces and persisted as a replayable seed record.
+
+The output is a :class:`VerifyReport` whose JSON form is the
+``VERIFY_envelope.json`` artifact: per-stage drift gates, the
+aggregate error distribution (Table 1/2 style), and the failure
+records.  ``replay_records`` re-runs persisted failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import EstimatorConfig
+from repro.errors import ReproError, VerificationError
+from repro.layout.annealing import AnnealingSchedule
+from repro.netlist.model import Module
+from repro.obs.trace import current_tracer
+from repro.technology.libraries import cmos_process, nmos_process
+from repro.technology.process import ProcessDatabase
+from repro.verify.checks import (
+    CheckResult,
+    check_area_monotone_in_devices,
+    check_batch_jobs,
+    check_caches_identity,
+    check_disk_roundtrip,
+    check_plan_vs_direct,
+    check_row_sweep_sanity,
+    check_shared_within_upper_bound,
+    check_sharing_factor_monotone,
+    check_spread_mode_agreement,
+    check_trace_identity,
+    run_module_checks,
+)
+from repro.verify.corpus import CaseSpec, draw_corpus
+from repro.verify.envelope import (
+    EnvelopeBounds,
+    EnvelopePoint,
+    measure_case,
+    summarize,
+    verification_schedule,
+)
+from repro.verify.records import SeedRecord, save_records
+from repro.verify.shrink import shrink_module
+
+#: Version of the VERIFY_envelope.json report shape.
+REPORT_SCHEMA_VERSION = 1
+
+#: Device-count increment for the grown twin in monotonicity checks.
+GROWTH_STEP = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyOptions:
+    """Knobs for one verification sweep."""
+
+    seeds: int = 25
+    base_seed: int = 0
+    jobs: int = 2
+    bounds: EnvelopeBounds = dataclasses.field(
+        default_factory=EnvelopeBounds
+    )
+    schedule: Optional[AnnealingSchedule] = None
+    check_envelope: bool = True
+    shrink_budget: int = 120
+    envelope_shrink_budget: int = 30
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Everything one sweep learned, serializable as the drift artifact."""
+
+    seeds: int
+    base_seed: int
+    cases: List[dict]
+    check_counts: Dict[str, Dict[str, int]]
+    envelope_points: List[EnvelopePoint]
+    envelope_summary: Dict[str, dict]
+    failures: List[SeedRecord]
+    gates: Dict[str, bool]
+
+    @property
+    def passed(self) -> bool:
+        return all(self.gates.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "seeds": self.seeds,
+            "base_seed": self.base_seed,
+            "passed": self.passed,
+            "gates": dict(self.gates),
+            "cases": list(self.cases),
+            "checks": {
+                name: dict(counts)
+                for name, counts in sorted(self.check_counts.items())
+            },
+            "envelope": {
+                "summary": self.envelope_summary,
+                "points": [
+                    point.to_dict() for point in self.envelope_points
+                ],
+            },
+            "failures": [record.to_dict() for record in self.failures],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+
+#: Stage owning each check name (drives the report's drift gates).
+CHECK_STAGES: Dict[str, str] = {
+    "plan_vs_direct": "equivalence",
+    "caches_identity": "equivalence",
+    "trace_identity": "equivalence",
+    "batch_jobs": "equivalence",
+    "disk_roundtrip": "equivalence",
+    "shared_within_upper_bound": "metamorphic",
+    "sharing_factor_monotone": "metamorphic",
+    "spread_mode_agreement": "metamorphic",
+    "row_sweep_sanity": "metamorphic",
+    "area_monotone_in_devices": "metamorphic",
+    "envelope": "envelope",
+}
+
+
+def _processes() -> Dict[str, ProcessDatabase]:
+    return {
+        "standard-cell": cmos_process(),
+        "full-custom": nmos_process(),
+    }
+
+
+def _grown_spec(spec: CaseSpec) -> Optional[CaseSpec]:
+    """The same random recipe with more gates (prefix-aligned: each
+    planning iteration consumes a fixed number of rng draws, so the
+    smaller module is a sub-construction of the larger)."""
+    if spec.family not in ("random", "random_nmos"):
+        return None
+    params = dict(spec.params)
+    params["gates"] = int(params["gates"]) + GROWTH_STEP
+    return CaseSpec.make(spec.family, spec.seed, params)
+
+
+def _single_check(
+    name: str,
+    module: Module,
+    process: ProcessDatabase,
+    methodology: str,
+) -> CheckResult:
+    """Re-run one named per-module check (the shrink predicate core)."""
+    if name == "plan_vs_direct":
+        return check_plan_vs_direct(module, process)
+    if name == "caches_identity":
+        return check_caches_identity(module, process, methodology)
+    if name == "trace_identity":
+        return check_trace_identity(module, process, methodology)
+    if name == "batch_jobs":
+        return check_batch_jobs([module], process, jobs=2)
+    if name == "disk_roundtrip":
+        return check_disk_roundtrip(module, process)
+    if name == "shared_within_upper_bound":
+        return check_shared_within_upper_bound(module, process)
+    if name == "sharing_factor_monotone":
+        return check_sharing_factor_monotone(module, process)
+    if name == "spread_mode_agreement":
+        return check_spread_mode_agreement(module, process)
+    if name == "row_sweep_sanity":
+        return check_row_sweep_sanity(module, process)
+    raise VerificationError(f"no single-module form for check {name!r}")
+
+
+def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
+    """One full verification sweep; never raises on a failed invariant
+    (the report's gates carry the verdict)."""
+    options = options or VerifyOptions()
+    tracer = current_tracer()
+    processes = _processes()
+    check_counts: Dict[str, Dict[str, int]] = {}
+    #: (spec, module, check name, detail, shrink predicate or None)
+    pending_failures: List[tuple] = []
+
+    def note(spec: CaseSpec, module: Optional[Module],
+             result: CheckResult,
+             predicate: Optional[Callable[[Module], bool]]) -> None:
+        counts = check_counts.setdefault(
+            result.name, {"passed": 0, "failed": 0}
+        )
+        counts["passed" if result.passed else "failed"] += 1
+        if not result.passed:
+            pending_failures.append(
+                (spec, module, result.name, result.detail, predicate)
+            )
+
+    # ------------------------------------------------------------------
+    with tracer.span("verify.corpus") as span:
+        specs = draw_corpus(options.seeds, options.base_seed)
+        built: List[Tuple[CaseSpec, Module]] = [
+            (spec, spec.build()) for spec in specs
+        ]
+        if tracer.enabled:
+            span.set("cases", len(built))
+
+    # ------------------------------------------------------------------
+    with tracer.span("verify.equivalence") as span:
+        for spec, module in built:
+            process = processes[spec.methodology]
+            for result in run_module_checks(
+                module, process, spec.methodology
+            ):
+                if CHECK_STAGES[result.name] != "equivalence":
+                    continue
+                note(spec, module, result,
+                     _predicate(result.name, process, spec.methodology))
+        # Corpus-wide: one pooled batch over every standard-cell module
+        # (force_pool exercises real workers even on one-core hosts),
+        # and one disk round-trip per sweep.
+        sc_cases = [
+            (spec, module) for spec, module in built
+            if spec.methodology == "standard-cell"
+        ]
+        if sc_cases:
+            process = processes["standard-cell"]
+            batch = check_batch_jobs(
+                [module for _, module in sc_cases], process,
+                jobs=max(2, options.jobs),
+            )
+            if batch.passed:
+                note(sc_cases[0][0], sc_cases[0][1], batch, None)
+            else:
+                # Localise: re-check each module alone so the failure
+                # shrinks against the module that actually diverges.
+                for spec, module in sc_cases:
+                    single = check_batch_jobs([module], process, jobs=2)
+                    if not single.passed:
+                        note(spec, module, single,
+                             _predicate("batch_jobs", process,
+                                        spec.methodology))
+            note(sc_cases[0][0], sc_cases[0][1],
+                 check_disk_roundtrip(sc_cases[0][1], process),
+                 _predicate("disk_roundtrip", process, "standard-cell"))
+        if tracer.enabled:
+            span.set("checks", sum(
+                counts["passed"] + counts["failed"]
+                for counts in check_counts.values()
+            ))
+
+    # ------------------------------------------------------------------
+    with tracer.span("verify.metamorphic") as span:
+        pairs = 0
+        for spec, module in built:
+            process = processes[spec.methodology]
+            for result in run_module_checks(
+                module, process, spec.methodology
+            ):
+                if CHECK_STAGES[result.name] != "metamorphic":
+                    continue
+                note(spec, module, result,
+                     _predicate(result.name, process, spec.methodology))
+            grown = _grown_spec(spec)
+            if grown is not None:
+                pairs += 1
+                result = check_area_monotone_in_devices(
+                    module, grown.build(), process, spec.methodology
+                )
+                # Monotonicity relates two modules; shrinking one of
+                # them breaks the relation, so record unshrunk.
+                note(spec, module, result, None)
+        if tracer.enabled:
+            span.set("growth_pairs", pairs)
+
+    # ------------------------------------------------------------------
+    envelope_points: List[EnvelopePoint] = []
+    if options.check_envelope:
+        with tracer.span("verify.envelope") as span:
+            schedule = options.schedule or verification_schedule()
+            for spec, module in built:
+                process = processes[spec.methodology]
+                point = measure_case(
+                    spec, module, process, options.bounds, schedule
+                )
+                envelope_points.append(point)
+                result = CheckResult(
+                    "envelope", point.within,
+                    "" if point.within else (
+                        f"relative error {point.error:+.3f} outside "
+                        f"{options.bounds.range_for(spec.methodology)}"
+                    ),
+                )
+                note(spec, module, result,
+                     _envelope_predicate(spec, process, options.bounds,
+                                         schedule))
+            if tracer.enabled:
+                span.set("points", len(envelope_points))
+
+    # ------------------------------------------------------------------
+    failures: List[SeedRecord] = []
+    with tracer.span("verify.shrink") as span:
+        for spec, module, name, detail, predicate in pending_failures:
+            shrunk_devices = None
+            shrunk_count = None
+            if predicate is not None and module is not None:
+                budget = (
+                    options.envelope_shrink_budget
+                    if name == "envelope"
+                    else options.shrink_budget
+                )
+                try:
+                    shrunk = shrink_module(module, predicate, budget)
+                    shrunk_devices = tuple(
+                        device.name for device in shrunk.module.devices
+                    )
+                    shrunk_count = shrunk.module.device_count
+                except (ValueError, ReproError):
+                    pass  # keep the unshrunk record
+            failures.append(SeedRecord(
+                spec=spec,
+                check=name,
+                stage=CHECK_STAGES[name],
+                detail=detail,
+                shrunk_devices=shrunk_devices,
+                shrunk_device_count=shrunk_count,
+            ))
+        if tracer.enabled:
+            span.set("failures", len(failures))
+
+    gates = {
+        stage: all(
+            check_counts.get(name, {}).get("failed", 0) == 0
+            for name, owner in CHECK_STAGES.items()
+            if owner == stage
+        )
+        for stage in ("equivalence", "metamorphic", "envelope")
+    }
+    return VerifyReport(
+        seeds=options.seeds,
+        base_seed=options.base_seed,
+        cases=[
+            {
+                "label": spec.label,
+                "family": spec.family,
+                "methodology": spec.methodology,
+                "devices": module.device_count,
+            }
+            for spec, module in built
+        ],
+        check_counts=check_counts,
+        envelope_points=envelope_points,
+        envelope_summary=summarize(envelope_points, options.bounds),
+        failures=failures,
+        gates=gates,
+    )
+
+
+def _predicate(
+    name: str,
+    process: ProcessDatabase,
+    methodology: str,
+) -> Callable[[Module], bool]:
+    """Shrink predicate: True while the named check still fails."""
+
+    def failing(candidate: Module) -> bool:
+        return not _single_check(name, candidate, process, methodology)
+
+    return failing
+
+
+def _envelope_predicate(
+    spec: CaseSpec,
+    process: ProcessDatabase,
+    bounds: EnvelopeBounds,
+    schedule: AnnealingSchedule,
+) -> Callable[[Module], bool]:
+    def failing(candidate: Module) -> bool:
+        point = measure_case(spec, candidate, process, bounds, schedule)
+        return not point.within
+
+    return failing
+
+
+def replay_records(
+    records: Sequence[SeedRecord],
+    bounds: Optional[EnvelopeBounds] = None,
+    schedule: Optional[AnnealingSchedule] = None,
+) -> List[Tuple[SeedRecord, CheckResult]]:
+    """Rebuild each record's module and re-run its violated check.
+
+    Returns (record, result) pairs; a result that *fails* means the
+    failure still reproduces — which is what a replay is for.
+    """
+    bounds = bounds or EnvelopeBounds()
+    schedule = schedule or verification_schedule()
+    processes = _processes()
+    outcomes: List[Tuple[SeedRecord, CheckResult]] = []
+    for record in records:
+        module = record.spec.build()
+        process = processes[record.spec.methodology]
+        if record.check == "envelope":
+            point = measure_case(
+                record.spec, module, process, bounds, schedule
+            )
+            result = CheckResult(
+                "envelope", point.within,
+                f"relative error {point.error:+.3f}",
+            )
+        elif record.check == "area_monotone_in_devices":
+            grown = _grown_spec(record.spec)
+            if grown is None:
+                raise VerificationError(
+                    f"record {record.spec.label}: no growth twin for "
+                    "monotonicity replay"
+                )
+            result = check_area_monotone_in_devices(
+                module, grown.build(), process, record.spec.methodology
+            )
+        else:
+            result = _single_check(
+                record.check, module, process, record.spec.methodology
+            )
+        outcomes.append((record, result))
+    return outcomes

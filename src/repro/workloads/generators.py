@@ -68,9 +68,21 @@ def random_gate_module(
     from recently created nets (short, low-fanout nets, like a
     datapath); 0.0 draws uniformly from all live nets (long nets, high
     fanout, like random control logic).
+
+    The result is guaranteed to contain at least one multi-terminal
+    (routable) net: at tiny sizes the random draw can wire every gate
+    straight to unshared input ports, which would hand the estimator a
+    module with an empty multi-component histogram.  When that happens
+    the second gate's first input is rewired (deterministically) to the
+    first gate's output.  A single gate can never form a net with two
+    distinct devices, so ``gates == 1`` is rejected with a
+    :class:`~repro.errors.NetlistError`.
     """
-    if gates < 1:
-        raise NetlistError(f"gates must be >= 1, got {gates}")
+    if gates < 2:
+        raise NetlistError(
+            f"gates must be >= 2, got {gates}: a 1-gate module cannot "
+            "contain a multi-terminal (routable) net"
+        )
     if inputs < 1 or outputs < 1:
         raise NetlistError("inputs and outputs must be >= 1")
     if not 0.0 <= locality <= 1.0:
@@ -79,11 +91,8 @@ def random_gate_module(
         raise NetlistError("cannot have more outputs than gates")
 
     rng = random.Random(seed)
-    builder = NetlistBuilder(name)
     input_names = [f"i{k}" for k in range(inputs)]
     output_names = [f"o{k}" for k in range(outputs)]
-    builder.inputs(*input_names)
-    builder.outputs(*output_names)
 
     cells = [cell for cell, _ in cell_mix]
     weights = [weight for _, weight in cell_mix]
@@ -95,6 +104,9 @@ def random_gate_module(
             return rng.choice(live_nets[-window:])
         return rng.choice(live_nets)
 
+    # Plan the gates first so connectivity can be repaired before the
+    # module is built (the builder offers no rewiring after the fact).
+    planned: List[tuple] = []          # (cell, name, connections, out_pin)
     for index in range(gates):
         cell = rng.choices(cells, weights)[0]
         pins = _CELL_PINS[cell]
@@ -107,10 +119,36 @@ def random_gate_module(
         connections = {pin: pick_net() for pin in pins}
         out_pin = "q" if cell in ("DFF", "DFFR", "DLATCH") else "y"
         connections[out_pin] = out_net
-        builder.gate(cell, f"g{index}", **connections)
+        planned.append((cell, f"g{index}", connections, out_pin))
         if not is_output_driver:
             live_nets.append(out_net)
+
+    if not _has_multi_terminal_net(planned):
+        # Deterministic repair: feed gate 0's output into gate 1's
+        # first input pin, giving that net two distinct devices.
+        cell0, _, connections0, out_pin0 = planned[0]
+        cell1, name1, connections1, out_pin1 = planned[1]
+        first_input = _CELL_PINS[cell1][0]
+        connections1 = dict(connections1)
+        connections1[first_input] = connections0[out_pin0]
+        planned[1] = (cell1, name1, connections1, out_pin1)
+
+    builder = NetlistBuilder(name)
+    builder.inputs(*input_names)
+    builder.outputs(*output_names)
+    for cell, gate_name, connections, _ in planned:
+        builder.gate(cell, gate_name, **connections)
     return builder.build()
+
+
+def _has_multi_terminal_net(planned: List[tuple]) -> bool:
+    """Whether any net in the planned gate list touches two distinct
+    devices (the scanner's multi-component criterion)."""
+    devices_by_net: Dict[str, set] = {}
+    for _, gate_name, connections, _ in planned:
+        for net in connections.values():
+            devices_by_net.setdefault(net, set()).add(gate_name)
+    return any(len(devices) >= 2 for devices in devices_by_net.values())
 
 
 def adder_module(name: str, bits: int) -> Module:

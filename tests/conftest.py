@@ -7,13 +7,25 @@ suite stays quick.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.layout.annealing import AnnealingSchedule
 from repro.netlist.builder import NetlistBuilder
 from repro.technology.libraries import cmos_process, nmos_process
+
+# Hypothesis profiles (docs/TESTING.md): "ci" is the pinned smoke
+# budget the workflow selects via HYPOTHESIS_PROFILE, "dev" the local
+# default, "thorough" the scheduled sweep.  Profiles only cap
+# max_examples; tests that need fewer examples still say so inline.
+settings.register_profile("ci", max_examples=25, deadline=None,
+                          derandomize=True)
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

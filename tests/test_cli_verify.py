@@ -1,0 +1,89 @@
+"""The ``mae verify`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_smoke_sweep_passes(self, capsys):
+        assert main(["verify", "--seeds", "6", "--skip-envelope"]) == 0
+        out = capsys.readouterr().out
+        assert "all gates passed" in out
+        assert "plan_vs_direct" in out
+
+    def test_envelope_sweep_and_report(self, tmp_path, capsys):
+        report = tmp_path / "VERIFY_envelope.json"
+        assert main([
+            "verify", "--seeds", "6", "--report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "envelope[standard-cell]" in out
+        data = json.loads(report.read_text())
+        assert data["passed"] is True
+        assert len(data["envelope"]["points"]) == 6
+
+    def test_injection_caught_with_records(self, tmp_path, capsys):
+        records = tmp_path / "seeds.json"
+        assert main([
+            "verify", "--seeds", "6", "--skip-envelope",
+            "--inject", "1.3", "--records", str(records),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "caught as expected" in out
+        assert records.exists()
+        data = json.loads(records.read_text())
+        assert data["records"]
+        assert any(
+            entry["check"] == "plan_vs_direct"
+            for entry in data["records"]
+        )
+
+    def test_uncaught_injection_is_an_error(self, capsys):
+        # A perturbation of exactly 1.0 changes nothing; demanding it
+        # be caught must fail loudly (the harness self-test's
+        # contrapositive).
+        assert main([
+            "verify", "--seeds", "4", "--skip-envelope", "--inject", "1.0",
+        ]) == 1
+        assert "NOT caught" in capsys.readouterr().err
+
+    def test_replay_of_fixed_records(self, tmp_path, capsys):
+        records = tmp_path / "seeds.json"
+        assert main([
+            "verify", "--seeds", "6", "--skip-envelope",
+            "--inject", "1.3", "--records", str(records),
+        ]) == 0
+        capsys.readouterr()
+        # Without the injected fault the records no longer reproduce.
+        assert main(["verify", "--replay", str(records)]) == 0
+        out = capsys.readouterr().out
+        assert "0 still failing" in out
+
+    def test_replay_of_still_failing_records_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        records = tmp_path / "seeds.json"
+        assert main([
+            "verify", "--seeds", "6", "--skip-envelope",
+            "--inject", "1.3", "--records", str(records),
+        ]) == 0
+        capsys.readouterr()
+        from repro.verify.inject import perturbed_standard_cell
+
+        with perturbed_standard_cell(1.3):
+            assert main(["verify", "--replay", str(records)]) == 1
+        assert "still reproduce" in capsys.readouterr().err
+
+    def test_deterministic_base_seed(self, tmp_path):
+        reports = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main([
+                "verify", "--seeds", "5", "--skip-envelope",
+                "--base-seed", "11", "--report", str(path),
+            ]) == 0
+            reports.append(json.loads(path.read_text()))
+        assert reports[0] == reports[1]

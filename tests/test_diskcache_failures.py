@@ -1,0 +1,125 @@
+"""Disk kernel-cache failure modes (ISSUE 4 satellite).
+
+Each corruption — a truncated file, a wrong schema version, a tampered
+triangle row — must raise :class:`KernelCacheError` and leave the
+*warm* live caches bit-for-bit untouched.  Unlike the rejection tests
+in test_perf_warmstart.py (which start from cleared caches), these
+start from a warm process: the point is that a bad file cannot damage
+state that already exists.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.standard_cell import estimate_standard_cell
+from repro.errors import KernelCacheError
+from repro.perf.diskcache import (
+    DISK_SCHEMA_VERSION,
+    load_kernel_caches,
+    save_kernel_caches,
+)
+from repro.perf.kernels import clear_kernel_caches, snapshot_kernel_caches
+from repro.workloads.generators import random_gate_module
+
+
+@pytest.fixture()
+def warm_cache_file(nmos, tmp_path):
+    """A valid cache file, with the process caches left warm."""
+    clear_kernel_caches()
+    module = random_gate_module("warm", gates=18, inputs=4, outputs=2,
+                                seed=11)
+    for rows in (3, 4, 6):
+        estimate_standard_cell(module, nmos, EstimatorConfig(rows=rows))
+    path = save_kernel_caches(tmp_path / "kernels.json")
+    assert any(
+        cache for cache in snapshot_kernel_caches()["kernels"].values()
+    ), "fixture must produce a non-empty cache"
+    return path
+
+
+def _assert_load_fails_cleanly(path, match):
+    before = snapshot_kernel_caches()
+    with pytest.raises(KernelCacheError, match=match):
+        load_kernel_caches(path)
+    assert snapshot_kernel_caches() == before
+
+
+class TestTruncatedFile:
+    def test_half_file(self, warm_cache_file):
+        text = warm_cache_file.read_text()
+        warm_cache_file.write_text(text[: len(text) // 2])
+        _assert_load_fails_cleanly(warm_cache_file, "not valid JSON")
+
+    def test_empty_file(self, warm_cache_file):
+        warm_cache_file.write_text("")
+        _assert_load_fails_cleanly(warm_cache_file, "not valid JSON")
+
+    def test_truncated_to_non_object(self, warm_cache_file):
+        warm_cache_file.write_text("[]")
+        _assert_load_fails_cleanly(warm_cache_file, "JSON object")
+
+
+class TestWrongVersion:
+    @pytest.mark.parametrize("version", [0, DISK_SCHEMA_VERSION + 1, "1",
+                                         None])
+    def test_rejected(self, warm_cache_file, version):
+        payload = json.loads(warm_cache_file.read_text())
+        payload["schema_version"] = version
+        warm_cache_file.write_text(json.dumps(payload))
+        _assert_load_fails_cleanly(warm_cache_file, "schema_version")
+
+
+class TestTamperedTriangle:
+    def _tamper(self, path, mutate):
+        payload = json.loads(path.read_text())
+        triangle = payload["triangle"]
+        assert triangle and triangle["rows"], (
+            "warm fixture must persist a triangle"
+        )
+        mutate(triangle)
+        path.write_text(json.dumps(payload))
+
+    def test_tampered_interior_cell(self, warm_cache_file):
+        def bump_last_row(triangle):
+            # b(d, 1) = 1 for every d, so +1 always breaks the
+            # recurrence, in the deepest persisted row.
+            triangle["rows"][-1][0] += 1
+
+        self._tamper(warm_cache_file, bump_last_row)
+        _assert_load_fails_cleanly(warm_cache_file, "recurrence")
+
+    def test_tampered_first_row(self, warm_cache_file):
+        self._tamper(
+            warm_cache_file,
+            lambda triangle: triangle["rows"][0].__setitem__(0, 2),
+        )
+        _assert_load_fails_cleanly(warm_cache_file, "recurrence")
+
+    def test_non_integer_cell(self, warm_cache_file):
+        self._tamper(
+            warm_cache_file,
+            lambda triangle: triangle["rows"][0].__setitem__(0, 1.0),
+        )
+        _assert_load_fails_cleanly(warm_cache_file, "not an integer")
+
+    def test_row_length_mismatch(self, warm_cache_file):
+        self._tamper(
+            warm_cache_file,
+            lambda triangle: triangle["rows"][-1].append(0),
+        )
+        _assert_load_fails_cleanly(warm_cache_file, "length")
+
+
+def test_good_file_still_loads_after_rejections(warm_cache_file, nmos):
+    """The rejection path leaves the process able to load a good file."""
+    module = random_gate_module("check", gates=12, inputs=3, outputs=1,
+                                seed=5)
+    before = estimate_standard_cell(module, nmos, EstimatorConfig(rows=4))
+    clear_kernel_caches()
+    assert load_kernel_caches(warm_cache_file) > 0
+    after = estimate_standard_cell(module, nmos, EstimatorConfig(rows=4))
+    assert before == after

@@ -1,0 +1,75 @@
+"""Corpus driver: determinism, coverage, and spec round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VerificationError
+from repro.netlist.validate import validate_module
+from repro.verify.corpus import CaseSpec, draw_corpus, family_names
+
+
+class TestDrawCorpus:
+    def test_deterministic(self):
+        assert draw_corpus(20, base_seed=3) == draw_corpus(20, base_seed=3)
+
+    def test_base_seeds_differ(self):
+        assert draw_corpus(20, base_seed=1) != draw_corpus(20, base_seed=2)
+
+    def test_round_robin_covers_every_family(self):
+        names = family_names()
+        specs = draw_corpus(len(names), base_seed=0)
+        assert {spec.family for spec in specs} == set(names)
+
+    def test_methodologies_both_present(self):
+        specs = draw_corpus(len(family_names()), base_seed=0)
+        methodologies = {spec.methodology for spec in specs}
+        assert methodologies == {"standard-cell", "full-custom"}
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(VerificationError):
+            draw_corpus(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(base_seed=st.integers(0, 10_000))
+    def test_every_case_builds_valid(self, base_seed):
+        for spec in draw_corpus(len(family_names()), base_seed=base_seed):
+            module = spec.build()
+            validate_module(module)
+            assert module.device_count >= 1
+
+    def test_build_is_replayable(self):
+        for spec in draw_corpus(len(family_names()), base_seed=9):
+            a, b = spec.build(), spec.build()
+            assert {d.name: dict(d.pins) for d in a.devices} == {
+                d.name: dict(d.pins) for d in b.devices
+            }
+
+
+class TestCaseSpec:
+    def test_dict_round_trip(self):
+        for spec in draw_corpus(len(family_names()), base_seed=4):
+            assert CaseSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(VerificationError, match="unknown corpus family"):
+            CaseSpec.from_dict({"family": "nope", "seed": 1, "params": {}})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(VerificationError):
+            CaseSpec.from_dict({"seed": 1})
+        with pytest.raises(VerificationError):
+            CaseSpec.from_dict({"family": "random", "seed": "x",
+                                "params": {}})
+
+    def test_missing_param_rejected(self):
+        spec = CaseSpec.make("random", 1, {"gates": 5})
+        with pytest.raises(VerificationError, match="missing parameter"):
+            spec.param("locality")
+
+    def test_labels_unique_within_draw(self):
+        specs = draw_corpus(40, base_seed=0)
+        labels = [spec.label for spec in specs]
+        assert len(set(labels)) == len(labels)

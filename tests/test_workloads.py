@@ -87,6 +87,30 @@ class TestRandomGateModule:
                                     seed=seed, locality=locality)
         validate_module(module)
 
+    def test_single_gate_rejected(self):
+        # component_count counts *distinct* devices, so one gate can
+        # never form a routable net — the generator must refuse.
+        with pytest.raises(NetlistError):
+            random_gate_module("r", gates=1, inputs=1, outputs=1, seed=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        gates=st.integers(2, 6),
+        inputs=st.integers(1, 6),
+        seed=st.integers(0, 500),
+        locality=st.floats(0.0, 1.0),
+    )
+    def test_tiny_modules_have_routable_net(self, gates, inputs, seed,
+                                            locality):
+        # Regression: tiny draws could wire every gate straight to
+        # unshared input ports, leaving the estimator a module with an
+        # empty multi-component histogram.
+        module = random_gate_module(
+            "r", gates=gates, inputs=inputs, outputs=1,
+            seed=seed, locality=locality)
+        validate_module(module)
+        assert any(net.component_count >= 2 for net in module.nets)
+
 
 class TestStructuredGenerators:
     def test_adder(self):
