@@ -220,7 +220,41 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="fail unless the compiled-plan path is at "
                             "least X times the batch jobs=1 path")
+    bench.add_argument("--assert-incremental-speedup", type=float,
+                       default=None, metavar="X",
+                       help="fail unless the incremental ECO path is at "
+                            "least X times rebuild-per-edit")
     bench.set_defaults(handler=_cmd_bench)
+
+    eco = sub.add_parser(
+        "eco",
+        help="apply an ECO edit sequence and re-estimate incrementally "
+             "(O(affected nets) per edit, verified against a rescan)",
+    )
+    eco.add_argument(
+        "module",
+        help="schematic file, or a suite module name (t1_full_adder, "
+             "t2_datapath, ...)",
+    )
+    eco.add_argument("--edits", required=True, metavar="FILE",
+                     help="JSON edit sequence (see docs/TESTING.md for "
+                          "the format)")
+    eco.add_argument("--sample", type=int, default=None, metavar="N",
+                     help="instead of reading --edits, generate N random "
+                          "valid edits (--seed) and write them to FILE "
+                          "before applying")
+    eco.add_argument("--seed", type=int, default=0,
+                     help="seed for --sample (default: 0)")
+    eco.add_argument("--rows", type=int, default=None,
+                     help="fix the standard-cell row count")
+    eco.add_argument("--step", action="store_true",
+                     help="print the estimate after every edit, not just "
+                          "the final one")
+    eco.add_argument("--no-verify", action="store_true",
+                     help="skip the final bit-identity check against a "
+                          "from-scratch rescan")
+    _add_process_argument(eco)
+    eco.set_defaults(handler=_cmd_eco)
 
     verify = sub.add_parser(
         "verify",
@@ -245,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--skip-envelope", action="store_true",
                         help="invariants and metamorphic checks only "
                              "(no layout oracles; the fast CI smoke mode)")
+    verify.add_argument("--check", action="append", dest="checks",
+                        default=None, metavar="NAME",
+                        help="run only this per-module check (repeatable), "
+                             "e.g. --check incremental_equivalence; the "
+                             "envelope still follows --skip-envelope")
     verify.add_argument("--inject", type=float, default=None, metavar="X",
                         help="self-test: scale the direct standard-cell "
                              "path by X and require the harness to catch "
@@ -632,6 +671,94 @@ def _cmd_bench(args) -> None:
             f"plan path speedup {ratio:.2f}x meets the required "
             f"{args.assert_plan_speedup:.2f}x"
         )
+    if args.assert_incremental_speedup is not None:
+        ratio = record["speedups"]["incremental_vs_rebuild"]
+        if ratio < args.assert_incremental_speedup:
+            raise BenchmarkError(
+                f"incremental ECO speedup {ratio:.2f}x is below the "
+                f"required {args.assert_incremental_speedup:.2f}x"
+            )
+        print(
+            f"incremental ECO speedup {ratio:.2f}x meets the required "
+            f"{args.assert_incremental_speedup:.2f}x"
+        )
+
+
+def _cmd_eco(args) -> None:
+    import dataclasses
+
+    from repro.core.standard_cell import estimate_standard_cell_from_stats
+    from repro.errors import VerificationError
+    from repro.incremental import (
+        IncrementalEstimator,
+        edit_distance,
+        generate_edit_sequence,
+        load_mutations,
+        save_mutations,
+    )
+    from repro.obs.explain import resolve_module
+
+    process = _resolve_process(args)
+    config = EstimatorConfig(rows=args.rows)
+    module = resolve_module(args.module, process)
+
+    if args.sample is not None:
+        mutations = generate_edit_sequence(
+            module, args.sample, seed=args.seed,
+            power_nets=config.power_nets,
+        )
+        save_mutations(args.edits, mutations)
+        print(f"{len(mutations)} random edit(s) written to {args.edits}")
+    else:
+        mutations = load_mutations(args.edits)
+
+    engine = IncrementalEstimator(module, process, config)
+    before = engine.estimate()
+    print(
+        f"module {module.name} before ECO: {before.rows} rows, "
+        f"{before.tracks} tracks, "
+        f"{format_area(before.area, process.lambda_um)}"
+    )
+    if args.step:
+        for index, mutation in enumerate(mutations):
+            estimate = engine.estimate_after(mutation)
+            print(
+                f"  [{index + 1:3d}] {mutation.kind:13s} -> "
+                f"{estimate.rows} rows, {estimate.tracks} tracks, "
+                f"area {estimate.area:.0f} lambda^2"
+            )
+        after = engine.estimate()
+    else:
+        after = engine.estimate_after(mutations)
+
+    census = ", ".join(
+        f"{count} {kind}" for kind, count in
+        sorted(edit_distance(mutations).items())
+    )
+    print(f"applied {len(mutations)} edit(s): {census or 'none'}")
+    stats = engine.statistics()
+    print(
+        f"module {module.name} after ECO (revision "
+        f"{engine.stats_version}): {stats.device_count} devices, "
+        f"{stats.net_count} nets; {after.rows} rows, {after.tracks} "
+        f"tracks, {format_area(after.area, process.lambda_um)}"
+    )
+    delta = after.area - before.area
+    print(f"area delta: {delta:+.0f} lambda^2 "
+          f"({delta / before.area:+.1%})")
+
+    if not args.no_verify:
+        fresh = engine.rescan()
+        rebuilt = estimate_standard_cell_from_stats(fresh, process, config)
+        if (engine.statistics() != fresh
+                or dataclasses.astuple(after) !=
+                dataclasses.astuple(rebuilt)):
+            raise VerificationError(
+                "incremental estimate diverges from a from-scratch "
+                "rescan of the edited netlist"
+            )
+        print("verified: incremental result is bit-identical to a "
+              "from-scratch rescan")
 
 
 def _cmd_verify(args) -> None:
@@ -672,6 +799,7 @@ def _cmd_verify(args) -> None:
         base_seed=args.base_seed,
         jobs=args.jobs,
         check_envelope=not args.skip_envelope,
+        checks=tuple(args.checks) if args.checks else None,
     )
     injection = (
         perturbed_standard_cell(args.inject)

@@ -51,8 +51,6 @@ def standard_cell_candidates(
 ) -> List[StandardCellEstimate]:
     """Up to ``count`` standard-cell implementations at different row
     counts, centred on the Section 5 initial choice."""
-    if count < 1:
-        raise EstimationError(f"count must be >= 1, got {count}")
     config = config or EstimatorConfig()
     stats = scan_module(
         module,
@@ -61,6 +59,21 @@ def standard_cell_candidates(
         port_width=config.port_pitch_override or process.port_pitch,
         power_nets=config.power_nets,
     )
+    return standard_cell_candidates_from_stats(stats, process, config, count)
+
+
+def standard_cell_candidates_from_stats(
+    stats,
+    process: ProcessDatabase,
+    config: Optional[EstimatorConfig] = None,
+    count: int = 5,
+) -> List[StandardCellEstimate]:
+    """The row-count spread from pre-computed statistics (the C2
+    aspect-ratio search re-queries this as the netlist evolves, feeding
+    it incremental snapshots instead of rescanning)."""
+    if count < 1:
+        raise EstimationError(f"count must be >= 1, got {count}")
+    config = config or EstimatorConfig()
     centre = (
         config.rows
         if config.rows is not None

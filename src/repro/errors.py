@@ -33,12 +33,24 @@ class ParseError(NetlistError):
         super().__init__(message)
 
 
+class MutationError(NetlistError):
+    """An ECO edit (``repro.incremental`` Mutation) is malformed, names
+    unknown netlist objects, or an edits file could not be decoded."""
+
+
 class TechnologyError(ReproError):
     """A process database is inconsistent or missing required entries."""
 
 
 class EstimationError(ReproError):
     """The estimator was given inputs it cannot produce an estimate for."""
+
+
+class StaleStatisticsError(EstimationError):
+    """A ModuleStatistics snapshot is older than the netlist it claims
+    to describe (its ``stats_version`` does not match the expected
+    revision).  Raised loudly instead of silently serving a plan that
+    was compiled for a different netlist state."""
 
 
 class LayoutError(ReproError):

@@ -103,8 +103,22 @@ def run_iteration_experiment(
     oracle_schedule: Optional[AnnealingSchedule] = None,
     tolerance: float = 0.05,
     seed: int = 0,
+    estimate_source: str = "planned",
 ) -> IterationComparison:
-    """Run the loop with both estimate providers."""
+    """Run the loop with both estimate providers.
+
+    ``estimate_source`` picks what backs the paper-estimator side:
+    ``"planned"`` (default) compiles one static plan per module;
+    ``"incremental"`` runs live
+    :class:`repro.incremental.IncrementalEstimateProvider` engines —
+    the ECO-ready path, which must produce the identical trajectory on
+    an unedited netlist (asserted by the test suite).
+    """
+    if estimate_source not in ("planned", "incremental"):
+        raise FloorplanError(
+            f"unknown estimate_source {estimate_source!r} "
+            "(expected 'planned' or 'incremental')"
+        )
     process = process or nmos_process()
     modules = list(modules) if modules is not None else default_chip_modules()
     config = config or EstimatorConfig()
@@ -137,9 +151,17 @@ def run_iteration_experiment(
         truths[name] = Shape(layout.width, layout.height)
 
     names = tuple(sorted(by_name))
+    if estimate_source == "incremental":
+        from repro.incremental.provider import IncrementalEstimateProvider
+
+        estimates = IncrementalEstimateProvider.from_modules(
+            modules, process, config, rows=config.rows
+        )
+    else:
+        estimates = PlannedEstimateProvider(plans, rows=config.rows)
     with_estimator = run_iteration_loop(
         names,
-        estimates=PlannedEstimateProvider(plans, rows=config.rows),
+        estimates=estimates,
         truths=lambda name: truths[name],
         tolerance=tolerance,
         seed=seed,

@@ -1,0 +1,103 @@
+"""Incremental estimate provider for the floorplan iteration loop.
+
+:class:`IncrementalEstimateProvider` is a drop-in for
+:class:`repro.experiments.iterations.PlannedEstimateProvider`: the C2
+loop calls it with a module name and gets a
+:class:`~repro.floorplan.shapes.ShapeList`.  The difference is what
+sits behind the call — a live :class:`IncrementalEstimator` per
+module, so ECO edits between floor-planning passes re-estimate in
+O(affected nets) instead of a full rescan, and the shape cache
+invalidates itself by revision instead of living forever.
+
+It also serves the C2 aspect-ratio search:
+:meth:`candidates` produces the Section 7 row-count spread straight
+from the maintained statistics
+(:func:`repro.core.candidates.standard_cell_candidates_from_stats`),
+again without a rescan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.candidates import standard_cell_candidates_from_stats
+from repro.core.config import EstimatorConfig
+from repro.core.results import StandardCellEstimate
+from repro.errors import EstimationError
+from repro.floorplan.shapes import ShapeList
+from repro.incremental.engine import IncrementalEstimator, MutationInput
+from repro.netlist.model import Module
+from repro.technology.process import ProcessDatabase
+
+
+class IncrementalEstimateProvider:
+    """Estimate source for :func:`repro.floorplan.iteration.run_iteration_loop`
+    backed by per-module incremental engines."""
+
+    def __init__(
+        self,
+        engines: Mapping[str, IncrementalEstimator],
+        rows: Optional[int] = None,
+    ):
+        self._engines: Dict[str, IncrementalEstimator] = dict(engines)
+        self._rows = rows
+        #: name -> (stats_version the shapes were computed at, shapes)
+        self._shapes: Dict[str, Tuple[int, ShapeList]] = {}
+
+    @classmethod
+    def from_modules(
+        cls,
+        modules: Sequence[Module],
+        process: ProcessDatabase,
+        config: Optional[EstimatorConfig] = None,
+        rows: Optional[int] = None,
+        copy_modules: bool = True,
+    ) -> "IncrementalEstimateProvider":
+        """Build one engine per module (names must be unique)."""
+        engines: Dict[str, IncrementalEstimator] = {}
+        for module in modules:
+            if module.name in engines:
+                raise EstimationError(
+                    f"duplicate module name {module.name!r}"
+                )
+            engines[module.name] = IncrementalEstimator(
+                module, process, config, copy_module=copy_modules
+            )
+        return cls(engines, rows=rows)
+
+    def engine(self, name: str) -> IncrementalEstimator:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise EstimationError(f"unknown module {name!r}") from None
+
+    def apply(self, name: str, mutations: MutationInput) -> int:
+        """Route ECO edits to one module's engine; returns its new
+        revision.  The stale shape cache entry dies with the edit."""
+        return self.engine(name).apply(mutations)
+
+    def estimate(self, name: str) -> StandardCellEstimate:
+        """The current estimate for one module (no rescan)."""
+        return self.engine(name).estimate(self._rows)
+
+    def candidates(self, name: str, count: int = 5) -> List[StandardCellEstimate]:
+        """The aspect-ratio search's row-count spread for one module,
+        served from the engine's maintained statistics."""
+        engine = self.engine(name)
+        return standard_cell_candidates_from_stats(
+            engine.statistics(), engine.process, engine.config, count
+        )
+
+    def __call__(self, name: str) -> ShapeList:
+        """The loop's query: a single-shape list at the module's
+        current revision, cached until the next edit."""
+        engine = self.engine(name)
+        cached = self._shapes.get(name)
+        if cached is not None and cached[0] == engine.stats_version:
+            return cached[1]
+        estimate = engine.estimate(self._rows)
+        shapes = ShapeList.from_dimensions(
+            [(estimate.width, estimate.height)]
+        )
+        self._shapes[name] = (engine.stats_version, shapes)
+        return shapes

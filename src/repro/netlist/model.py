@@ -200,6 +200,136 @@ class Module:
         net.connections.append(PinConnection(device_name, pin))
 
     # ------------------------------------------------------------------
+    # mutation (ECO-style edits; see repro.incremental)
+    # ------------------------------------------------------------------
+    def remove_device(self, name: str) -> Device:
+        """Remove a device and all of its pin connections.
+
+        Nets left with neither connections nor ports are dropped, so a
+        fresh scan of the mutated module never sees orphaned nets.
+        Returns the removed device (its pins still name the nets it was
+        attached to, which incremental bookkeeping needs).
+        """
+        device = self._devices.pop(name, None)
+        if device is None:
+            raise NetlistError(
+                f"module {self.name!r}: unknown device {name!r}"
+            )
+        for net_name in set(device.pins.values()):
+            net = self._nets[net_name]
+            net.connections = [
+                conn for conn in net.connections if conn.device != name
+            ]
+            self._drop_net_if_empty(net_name)
+        return device
+
+    def disconnect(self, device_name: str, pin: str) -> str:
+        """Detach one pin of a device from its net; returns the net name."""
+        device = self.device(device_name)
+        net_name = device.pins.pop(pin, None)
+        if net_name is None:
+            raise NetlistError(
+                f"module {self.name!r}: device {device_name!r} has no "
+                f"pin {pin!r}"
+            )
+        net = self._nets[net_name]
+        net.connections = [
+            conn for conn in net.connections
+            if not (conn.device == device_name and conn.pin == pin)
+        ]
+        self._drop_net_if_empty(net_name)
+        return net_name
+
+    def merge_nets(self, keep: str, absorb: str) -> Net:
+        """Merge net ``absorb`` into net ``keep`` (short them together).
+
+        Every pin and port of ``absorb`` is re-attached to ``keep`` and
+        ``absorb`` disappears.  Returns the surviving net.
+        """
+        if keep == absorb:
+            raise NetlistError(
+                f"module {self.name!r}: cannot merge net {keep!r} with itself"
+            )
+        keep_net = self.net(keep)
+        absorb_net = self.net(absorb)
+        for conn in absorb_net.connections:
+            self._devices[conn.device].pins[conn.pin] = keep
+            keep_net.connections.append(conn)
+        for port_name in absorb_net.ports:
+            port = self._ports[port_name]
+            self._ports[port_name] = Port(
+                port.name, port.direction, keep, port.width_lambda
+            )
+            keep_net.ports.append(port_name)
+        del self._nets[absorb]
+        return keep_net
+
+    def split_net(
+        self,
+        source: str,
+        new_name: str,
+        endpoints: Iterable[Tuple[str, str]],
+    ) -> Net:
+        """Move the given (device, pin) endpoints of ``source`` onto a
+        new net ``new_name`` (cut the net in two).
+
+        ``endpoints`` must be a non-empty subset of the source net's
+        connections; ports stay on the source net.  Returns the new net.
+        """
+        if new_name in self._nets:
+            raise NetlistError(
+                f"module {self.name!r}: net {new_name!r} already exists"
+            )
+        net = self.net(source)
+        moving = set(endpoints)
+        if not moving:
+            raise NetlistError(
+                f"module {self.name!r}: split of net {source!r} moves "
+                "no endpoints"
+            )
+        present = {(conn.device, conn.pin) for conn in net.connections}
+        missing = moving - present
+        if missing:
+            raise NetlistError(
+                f"module {self.name!r}: net {source!r} has no endpoint(s) "
+                f"{sorted(missing)}"
+            )
+        new_net = Net(new_name)
+        remaining = []
+        for conn in net.connections:
+            if (conn.device, conn.pin) in moving:
+                new_net.connections.append(conn)
+                self._devices[conn.device].pins[conn.pin] = new_name
+            else:
+                remaining.append(conn)
+        net.connections = remaining
+        self._nets[new_name] = new_net
+        self._drop_net_if_empty(source)
+        return new_net
+
+    def copy(self) -> "Module":
+        """An independent structural clone (same ports, devices, nets).
+
+        Connection order within a net follows device insertion order in
+        the clone, which is invisible to the scan statistics (net sizes
+        count *distinct* devices).
+        """
+        clone = Module(self.name)
+        for port in self._ports.values():
+            clone.add_port(port)
+        for device in self._devices.values():
+            clone.add_device(Device(
+                device.name, device.cell, dict(device.pins),
+                device.width_lambda, device.height_lambda,
+            ))
+        return clone
+
+    def _drop_net_if_empty(self, net_name: str) -> None:
+        net = self._nets.get(net_name)
+        if net is not None and not net.connections and not net.ports:
+            del self._nets[net_name]
+
+    # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
     @property

@@ -21,11 +21,30 @@ paper's equations:
   number of nets of each size
 * ``total_device_area`` / ``average_device_height`` — the active-cell
   area terms of Eqs. 12/13.
+
+Canonical aggregation
+---------------------
+
+Every float aggregate is computed by :func:`weighted_total` — a sum
+over the **sorted** value histogram, never over devices in netlist
+order.  Sorting makes the summation order a function of the histogram
+*content* alone, so any two code paths that agree on the histograms
+produce bit-identical floats.  That property is what lets the
+incremental engine (:mod:`repro.incremental`) maintain the histograms
+under netlist edits in O(affected nets) and still guarantee results
+field-for-field equal to a from-scratch rescan:
+:func:`build_statistics` is the single constructor both paths call.
+
+Statistics are immutable snapshots; the optional ``stats_version``
+token stamps which revision of a mutating netlist a snapshot was taken
+at.  It is excluded from equality/hashing (two identical-content
+snapshots are interchangeable) but lets caches fail loudly on stale
+reuse — see :func:`repro.perf.plan.get_plan`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import EstimationError
@@ -53,6 +72,10 @@ class ModuleStatistics:
     total_device_area: float
     total_port_width: float
     max_net_size: int
+    #: Netlist revision this snapshot was taken at (None: not tracked).
+    #: Excluded from comparison/hashing — snapshots with equal content
+    #: are interchangeable regardless of when they were taken.
+    stats_version: Optional[int] = field(default=None, compare=False)
 
     @property
     def distinct_width_count(self) -> int:
@@ -85,12 +108,87 @@ class ModuleStatistics:
         )
 
 
+def weighted_total(histogram: Mapping[float, int]) -> float:
+    """The canonical order-independent weighted sum of a histogram.
+
+    ``sum(value * count)`` over entries **sorted by value**.  Every
+    float aggregate in :class:`ModuleStatistics` is computed this way,
+    so the result depends only on the histogram content — never on the
+    order devices appear in the netlist.  The incremental engine relies
+    on this: maintaining the histogram and re-running this sum
+    reproduces a from-scratch scan bit for bit.
+    """
+    return sum(value * count for value, count in sorted(histogram.items()))
+
+
+def resolve_dimensions(
+    device: Device,
+    device_width: Optional[DimensionResolver] = None,
+    device_height: Optional[DimensionResolver] = None,
+) -> Tuple[float, float]:
+    """(width, height) of one device in lambda, honouring per-device
+    overrides first, then the resolvers (exactly the scan's rules)."""
+    width = _resolve(device, device.width_lambda, device_width, "width")
+    height = _resolve(device, device.height_lambda, device_height, "height")
+    return width, height
+
+
+def effective_port_width(port, default: float) -> float:
+    """A port's edge length: its own width when declared, else the
+    technology default pitch."""
+    return port.width_lambda if port.width_lambda > 0 else default
+
+
+def build_statistics(
+    module_name: str,
+    device_count: int,
+    port_count: int,
+    width_histogram: Mapping[float, int],
+    height_histogram: Mapping[float, int],
+    area_histogram: Mapping[float, int],
+    net_size_histogram: Mapping[int, int],
+    port_width_histogram: Mapping[float, int],
+    stats_version: Optional[int] = None,
+) -> ModuleStatistics:
+    """Assemble a :class:`ModuleStatistics` from value histograms.
+
+    This is the single constructor behind both :func:`scan_module` and
+    the incremental engine; every derived float goes through
+    :func:`weighted_total`, so two callers that agree on the histograms
+    get bit-identical statistics.
+    """
+    if device_count:
+        average_width = weighted_total(width_histogram) / device_count
+        average_height = weighted_total(height_histogram) / device_count
+    else:
+        average_width = 0.0
+        average_height = 0.0
+    sizes = {size: count for size, count in net_size_histogram.items() if count}
+    return ModuleStatistics(
+        module_name=module_name,
+        device_count=device_count,
+        net_count=sum(sizes.values()),
+        port_count=port_count,
+        width_histogram=tuple(sorted(
+            (w, x) for w, x in width_histogram.items() if x
+        )),
+        net_size_histogram=tuple(sorted(sizes.items())),
+        average_width=average_width,
+        average_height=average_height,
+        total_device_area=weighted_total(area_histogram),
+        total_port_width=weighted_total(port_width_histogram),
+        max_net_size=max(sizes) if sizes else 0,
+        stats_version=stats_version,
+    )
+
+
 def scan_module(
     module: Module,
     device_width: Optional[DimensionResolver] = None,
     device_height: Optional[DimensionResolver] = None,
     port_width: float = 8.0,
     power_nets: Iterable[str] = DEFAULT_POWER_NETS,
+    stats_version: Optional[int] = None,
 ) -> ModuleStatistics:
     """Scan a module and compute the estimation inputs.
 
@@ -100,52 +198,38 @@ def scan_module(
     ports that do not declare their own width.
     """
     widths: Dict[float, int] = {}
-    total_area = 0.0
-    total_height = 0.0
+    heights: Dict[float, int] = {}
+    areas: Dict[float, int] = {}
     for device in module.devices:
-        width = _resolve(device, device.width_lambda, device_width, "width")
-        height = _resolve(device, device.height_lambda, device_height, "height")
+        width, height = resolve_dimensions(device, device_width, device_height)
         widths[width] = widths.get(width, 0) + 1
-        total_area += width * height
-        total_height += height
-
-    n_devices = module.device_count
-    if n_devices:
-        average_width = sum(w * x for w, x in widths.items()) / n_devices
-        average_height = total_height / n_devices
-    else:
-        average_width = 0.0
-        average_height = 0.0
+        heights[height] = heights.get(height, 0) + 1
+        area = width * height
+        areas[area] = areas.get(area, 0) + 1
 
     net_sizes: Dict[int, int] = {}
-    signal_net_count = 0
-    max_net_size = 0
     for net in module.iter_signal_nets(power_nets):
         size = net.component_count
         if size == 0:
             # Port-only net: no devices to place, nothing to route.
             continue
-        signal_net_count += 1
         net_sizes[size] = net_sizes.get(size, 0) + 1
-        max_net_size = max(max_net_size, size)
 
-    total_port_width = sum(
-        port.width_lambda if port.width_lambda > 0 else port_width
-        for port in module.ports
-    )
+    port_widths: Dict[float, int] = {}
+    for port in module.ports:
+        width = effective_port_width(port, port_width)
+        port_widths[width] = port_widths.get(width, 0) + 1
 
-    return ModuleStatistics(
+    return build_statistics(
         module_name=module.name,
-        device_count=n_devices,
-        net_count=signal_net_count,
+        device_count=module.device_count,
         port_count=module.port_count,
-        width_histogram=tuple(sorted(widths.items())),
-        net_size_histogram=tuple(sorted(net_sizes.items())),
-        average_width=average_width,
-        average_height=average_height,
-        total_device_area=total_area,
-        total_port_width=total_port_width,
-        max_net_size=max_net_size,
+        width_histogram=widths,
+        height_histogram=heights,
+        area_histogram=areas,
+        net_size_histogram=net_sizes,
+        port_width_histogram=port_widths,
+        stats_version=stats_version,
     )
 
 

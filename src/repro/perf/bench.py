@@ -23,7 +23,12 @@ This harness times three workloads —
 * **pool cold / pool warm**: the same batch across a forced process
   pool, with workers starting from cleared caches versus warm-started
   from the parent's snapshot (``warm_start``) — the record reports how
-  many per-worker kernel misses warm-starting eliminated.
+  many per-worker kernel misses warm-starting eliminated;
+* **eco rebuild / eco incremental**: a 50-edit ECO sequence against a
+  moderate module, estimated after every edit — once by rescanning the
+  netlist from scratch per edit, once through the
+  :class:`~repro.incremental.IncrementalEstimator` delta path
+  (``incremental_vs_rebuild`` is the headline ECO speedup).
 
 It asserts all paths produce bit-identical estimates, captures
 kernel-cache hit rates, plan-cache and Stirling-triangle statistics,
@@ -73,12 +78,17 @@ from repro.workloads.generators import (
 )
 from repro.workloads.suites import table1_suite, table2_suite
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 BENCH_NAME = "batch_engine"
 DEFAULT_OUTPUT = "BENCH_batch_engine.json"
 
 #: Row counts for the synthetic sweep: 8 counts, the Table 2 ballpark.
 SWEEP_ROW_COUNTS: Tuple[int, ...] = tuple(range(2, 10))
+
+#: The ECO phase: edits applied to the workload module, one estimate
+#: per edit (the acceptance target is >= 3x over rebuild-per-edit).
+ECO_EDIT_COUNT = 50
+ECO_GATES = 400
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +357,58 @@ def run_bench(
     else:
         warm_section = {"available": False}
 
+    # ---- incremental ECO path vs rebuild-per-edit --------------------
+    # Both paths estimate after *every* edit of the same sequence, with
+    # kernel caches warm from the phases above, so the ratio isolates
+    # what the delta engine buys: O(affected nets) bookkeeping plus
+    # plan-cache reuse versus a full netlist rescan per edit.
+    from repro.incremental.editgen import generate_edit_sequence
+    from repro.incremental.engine import IncrementalEstimator
+
+    eco_gates = 60 if smoke else ECO_GATES
+    eco_edit_count = 10 if smoke else ECO_EDIT_COUNT
+    eco_module = random_gate_module(
+        "bench_eco", gates=eco_gates, inputs=24, outputs=16,
+        seed=11, locality=0.5,
+    )
+    eco_edits = generate_edit_sequence(
+        eco_module, eco_edit_count, seed=13,
+        power_nets=default_config.power_nets,
+    )
+
+    def eco_rebuild():
+        live = eco_module.copy()
+        estimates = []
+        for mutation in eco_edits:
+            mutation.apply(live)
+            stats = scan_module(
+                live,
+                device_width=process.device_width,
+                device_height=process.device_height,
+                port_width=process.port_pitch,
+                power_nets=default_config.power_nets,
+            )
+            estimates.append(estimate_standard_cell_from_stats(
+                stats, process, default_config
+            ))
+        return estimates
+
+    def eco_incremental():
+        engine = IncrementalEstimator(eco_module, process, default_config)
+        return [engine.estimate_after(mutation) for mutation in eco_edits]
+
+    rebuild_estimates = timed("eco_rebuild_per_edit", eco_edit_count,
+                              eco_rebuild)
+    incremental_estimates = timed("eco_incremental", eco_edit_count,
+                                  eco_incremental)
+    equivalence["eco_incremental"] = (
+        rebuild_estimates == incremental_estimates
+    )
+    incremental_section = {
+        "module_devices": eco_module.device_count,
+        "edits": eco_edit_count,
+    }
+
     timings = {phase["name"]: phase["seconds"] for phase in phases}
     speedups = {
         "table1_batch_jobs1_vs_seed": _ratio(
@@ -378,6 +440,11 @@ def run_bench(
     speedups["synthetic_pool_warm_vs_cold"] = _ratio(
         timings["synthetic_pool_cold"], timings["synthetic_pool_warm"]
     )
+    # The headline ECO number: delta-maintained statistics versus a
+    # from-scratch rescan after every edit of the same sequence.
+    speedups["incremental_vs_rebuild"] = _ratio(
+        timings["eco_rebuild_per_edit"], timings["eco_incremental"]
+    )
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -404,6 +471,7 @@ def run_bench(
             "triangle": triangle_section,
         },
         "warm_start": warm_section,
+        "incremental": incremental_section,
         "equivalence": equivalence,
     }
 
@@ -500,6 +568,18 @@ def validate_bench_record(record: dict) -> None:
                 f"warm_start.miss_elimination must be within [0, 1], "
                 f"got {elimination}"
             )
+
+    incremental = _require(record, "incremental", dict)
+    for field in ("module_devices", "edits"):
+        value = _require(incremental, field, int, context="incremental")
+        if value < 1:
+            raise BenchmarkError(
+                f"incremental.{field} must be >= 1, got {value}"
+            )
+    if "incremental_vs_rebuild" not in _require(record, "speedups", dict):
+        raise BenchmarkError(
+            "speedups is missing the 'incremental_vs_rebuild' ratio"
+        )
 
     equivalence = _require(record, "equivalence", dict)
     if not equivalence:
@@ -624,6 +704,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail unless the compiled-plan path is at "
                              "least X times the direct path (CI guard "
                              "against plan-path regressions)")
+    parser.add_argument("--assert-incremental-speedup", type=float,
+                        default=None, metavar="X",
+                        help="fail unless the incremental ECO path is at "
+                             "least X times rebuild-per-edit (CI guard "
+                             "against delta-engine regressions)")
     parser.add_argument("--kernel-cache", default=None, metavar="FILE",
                         help="load kernel caches from FILE before the run "
                              "and save them back after (also honours "
@@ -666,6 +751,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"plan path speedup {ratio:.2f}x meets the required "
             f"{args.assert_plan_speedup:.2f}x"
+        )
+    if args.assert_incremental_speedup is not None:
+        ratio = record["speedups"]["incremental_vs_rebuild"]
+        if ratio < args.assert_incremental_speedup:
+            print(
+                f"error: incremental ECO speedup {ratio:.2f}x is below "
+                f"the required {args.assert_incremental_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"incremental ECO speedup {ratio:.2f}x meets the required "
+            f"{args.assert_incremental_speedup:.2f}x"
         )
     return 0
 

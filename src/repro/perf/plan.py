@@ -39,7 +39,7 @@ from repro.core.config import EstimatorConfig
 from repro.core.probability import expected_feedthroughs
 from repro.core.results import StandardCellEstimate
 from repro.core.standard_cell import choose_initial_rows
-from repro.errors import EstimationError
+from repro.errors import EstimationError, StaleStatisticsError
 from repro.netlist.stats import ModuleStatistics
 from repro.obs.trace import current_tracer
 from repro.perf.kernels import (
@@ -234,10 +234,28 @@ def get_plan(
     stats: ModuleStatistics,
     process: ProcessDatabase,
     config: Optional[EstimatorConfig] = None,
+    expected_version: Optional[int] = None,
 ) -> EstimationPlan:
     """The cached plan for this (stats, process, config-sans-rows)
-    triple, compiling on first use."""
+    triple, compiling on first use.
+
+    ``expected_version`` guards against the stale-stats hazard: callers
+    that hold a :class:`~repro.netlist.stats.ModuleStatistics` snapshot
+    across netlist edits (the floorplan loop, the incremental engine)
+    pass the netlist's current revision, and a snapshot taken at any
+    other revision is rejected with :class:`StaleStatisticsError`
+    instead of silently serving a plan for a netlist that no longer
+    exists.  Snapshots without a version (``stats_version is None``)
+    cannot be validated and are rejected too when a check is requested.
+    """
     config = config or EstimatorConfig()
+    if expected_version is not None and stats.stats_version != expected_version:
+        raise StaleStatisticsError(
+            f"module {stats.module_name!r}: statistics snapshot is from "
+            f"netlist revision {stats.stats_version!r}, but revision "
+            f"{expected_version} was expected — rescan (or re-snapshot "
+            "the incremental engine) before planning"
+        )
     key = _plan_key(stats, process, config)
     plan = _PLAN_CACHE.get(key)
     if plan is None:

@@ -13,6 +13,7 @@ from repro.verify.checks import (
     check_batch_jobs,
     check_caches_identity,
     check_disk_roundtrip,
+    check_incremental_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
     check_shared_within_upper_bound,
@@ -60,6 +61,7 @@ __all__ = [
     "check_batch_jobs",
     "check_caches_identity",
     "check_disk_roundtrip",
+    "check_incremental_equivalence",
     "check_plan_vs_direct",
     "check_row_sweep_sanity",
     "check_shared_within_upper_bound",

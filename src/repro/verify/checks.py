@@ -33,12 +33,19 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
+import random
 import tempfile
+import zlib
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import EstimatorConfig
 from repro.core.full_custom import estimate_full_custom
-from repro.core.standard_cell import estimate_standard_cell
+from repro.core.standard_cell import (
+    estimate_standard_cell,
+    estimate_standard_cell_from_stats,
+)
+from repro.incremental.editgen import random_mutation
+from repro.incremental.engine import IncrementalEstimator
 from repro.netlist.model import Module
 from repro.netlist.stats import scan_module
 from repro.obs.trace import Tracer, use_tracer
@@ -228,6 +235,46 @@ def check_disk_roundtrip(
     return CheckResult("disk_roundtrip", True)
 
 
+def check_incremental_equivalence(
+    module: Module,
+    process: ProcessDatabase,
+    config: Optional[EstimatorConfig] = None,
+    steps: int = 12,
+) -> CheckResult:
+    """The incremental engine stays bit-identical to a from-scratch
+    rescan under a deterministic random edit sequence.
+
+    After every edit, both the maintained statistics snapshot and the
+    estimate served through the version-checked plan cache must equal
+    what a full rescan of the mutated netlist produces — field for
+    field, floats compared exactly.  The seed derives from the module's
+    name and size, so a failing case replays from its corpus spec.
+    """
+    config = config or EstimatorConfig()
+    seed = zlib.crc32(module.name.encode("utf-8")) ^ module.device_count
+    rng = random.Random(seed)
+    engine = IncrementalEstimator(module, process, config)
+    for step in range(steps):
+        mutation = random_mutation(engine.module, rng, config.power_nets)
+        engine.apply(mutation)
+        fresh = engine.rescan()
+        if engine.statistics() != fresh:
+            return CheckResult(
+                "incremental_equivalence", False,
+                f"step {step} ({mutation.kind}): maintained statistics "
+                "diverge from a rescan",
+            )
+        incremental = engine.estimate()
+        direct = estimate_standard_cell_from_stats(fresh, process, config)
+        if _fields(incremental) != _fields(direct):
+            return CheckResult(
+                "incremental_equivalence", False,
+                f"step {step} ({mutation.kind}): "
+                f"{_mismatch(incremental, direct)}",
+            )
+    return CheckResult("incremental_equivalence", True)
+
+
 # ----------------------------------------------------------------------
 # metamorphic properties
 # ----------------------------------------------------------------------
@@ -414,6 +461,8 @@ EQUIVALENCE_CHECKS: Tuple[Tuple[str, str, Callable], ...] = (
     ("plan_vs_direct", "standard-cell", check_plan_vs_direct),
     ("caches_identity", "*", check_caches_identity),
     ("trace_identity", "*", check_trace_identity),
+    ("incremental_equivalence", "standard-cell",
+     check_incremental_equivalence),
 )
 
 #: Per-module metamorphic checks (standard-cell only; the full-custom

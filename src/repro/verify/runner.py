@@ -45,6 +45,7 @@ from repro.verify.checks import (
     check_batch_jobs,
     check_caches_identity,
     check_disk_roundtrip,
+    check_incremental_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
     check_shared_within_upper_bound,
@@ -85,6 +86,14 @@ class VerifyOptions:
     check_envelope: bool = True
     shrink_budget: int = 120
     envelope_shrink_budget: int = 30
+    #: When set, only these per-module check names run (the envelope
+    #: still follows ``check_envelope``).  Lets CI gate one invariant —
+    #: e.g. ``("incremental_equivalence",)`` — without paying for the
+    #: whole sweep.
+    checks: Optional[Tuple[str, ...]] = None
+
+    def wants(self, name: str) -> bool:
+        return self.checks is None or name in self.checks
 
 
 @dataclasses.dataclass
@@ -140,6 +149,7 @@ CHECK_STAGES: Dict[str, str] = {
     "plan_vs_direct": "equivalence",
     "caches_identity": "equivalence",
     "trace_identity": "equivalence",
+    "incremental_equivalence": "equivalence",
     "batch_jobs": "equivalence",
     "disk_roundtrip": "equivalence",
     "shared_within_upper_bound": "metamorphic",
@@ -186,6 +196,8 @@ def _single_check(
         return check_batch_jobs([module], process, jobs=2)
     if name == "disk_roundtrip":
         return check_disk_roundtrip(module, process)
+    if name == "incremental_equivalence":
+        return check_incremental_equivalence(module, process)
     if name == "shared_within_upper_bound":
         return check_shared_within_upper_bound(module, process)
     if name == "sharing_factor_monotone":
@@ -237,6 +249,8 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
             ):
                 if CHECK_STAGES[result.name] != "equivalence":
                     continue
+                if not options.wants(result.name):
+                    continue
                 note(spec, module, result,
                      _predicate(result.name, process, spec.methodology))
         # Corpus-wide: one pooled batch over every standard-cell module
@@ -246,7 +260,7 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
             (spec, module) for spec, module in built
             if spec.methodology == "standard-cell"
         ]
-        if sc_cases:
+        if sc_cases and options.wants("batch_jobs"):
             process = processes["standard-cell"]
             batch = check_batch_jobs(
                 [module for _, module in sc_cases], process,
@@ -263,6 +277,8 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
                         note(spec, module, single,
                              _predicate("batch_jobs", process,
                                         spec.methodology))
+        if sc_cases and options.wants("disk_roundtrip"):
+            process = processes["standard-cell"]
             note(sc_cases[0][0], sc_cases[0][1],
                  check_disk_roundtrip(sc_cases[0][1], process),
                  _predicate("disk_roundtrip", process, "standard-cell"))
@@ -282,9 +298,13 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
             ):
                 if CHECK_STAGES[result.name] != "metamorphic":
                     continue
+                if not options.wants(result.name):
+                    continue
                 note(spec, module, result,
                      _predicate(result.name, process, spec.methodology))
             grown = _grown_spec(spec)
+            if not options.wants("area_monotone_in_devices"):
+                grown = None
             if grown is not None:
                 pairs += 1
                 result = check_area_monotone_in_devices(

@@ -87,3 +87,22 @@ class TestVerifyCommand:
             ]) == 0
             reports.append(json.loads(path.read_text()))
         assert reports[0] == reports[1]
+
+    def test_check_filter_runs_only_named_checks(self, capsys):
+        assert main([
+            "verify", "--seeds", "4", "--skip-envelope",
+            "--check", "incremental_equivalence",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental_equivalence" in out
+        assert "plan_vs_direct" not in out
+
+    def test_check_filter_is_repeatable(self, capsys):
+        assert main([
+            "verify", "--seeds", "4", "--skip-envelope",
+            "--check", "incremental_equivalence",
+            "--check", "plan_vs_direct",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental_equivalence" in out
+        assert "plan_vs_direct" in out

@@ -1,0 +1,157 @@
+"""IncrementalEstimateProvider in the C2 floor-planning loop.
+
+The provider must be a perfect stand-in for the static
+``PlannedEstimateProvider`` on an unedited netlist: same shapes, same
+aspect-ratio candidates, and — the satellite requirement — the same
+floor-planning trajectory (iteration count, per-pass chip areas, final
+area) when it drives :func:`run_iteration_experiment`.  On top of that
+it must actually *be* incremental: edits invalidate exactly the edited
+module's shape cache, and the ``incremental.rescan_avoided`` counter
+proves estimates were served without rescans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.candidates import standard_cell_candidates
+from repro.core.config import EstimatorConfig
+from repro.errors import EstimationError, FloorplanError
+from repro.experiments.iterations import run_iteration_experiment
+from repro.floorplan.shapes import ShapeList
+from repro.incremental import (
+    DisconnectTerminal,
+    IncrementalEstimateProvider,
+    RemoveDevice,
+)
+from repro.layout.annealing import AnnealingSchedule
+from repro.obs.trace import Tracer, use_tracer
+from repro.workloads.generators import counter_module, decoder_module
+
+_fields = dataclasses.astuple
+
+TINY = AnnealingSchedule(moves_per_stage=20, stages=4, cooling=0.7)
+
+
+def _modules():
+    return [
+        counter_module("inc_counter", bits=4),
+        decoder_module("inc_decoder", address_bits=2),
+    ]
+
+
+@pytest.fixture
+def provider(cmos):
+    return IncrementalEstimateProvider.from_modules(
+        _modules(), cmos, EstimatorConfig()
+    )
+
+
+class TestProviderBasics:
+    def test_duplicate_module_names_rejected(self, cmos):
+        module = counter_module("dup", bits=3)
+        with pytest.raises(EstimationError, match="duplicate"):
+            IncrementalEstimateProvider.from_modules([module, module], cmos)
+
+    def test_unknown_module_rejected(self, provider):
+        with pytest.raises(EstimationError, match="unknown module"):
+            provider("nonexistent")
+        with pytest.raises(EstimationError, match="unknown module"):
+            provider.estimate("nonexistent")
+
+    def test_shapes_match_engine_estimate(self, provider):
+        shapes = provider("inc_counter")
+        estimate = provider.estimate("inc_counter")
+        assert isinstance(shapes, ShapeList)
+        # One estimated footprint plus its rotation.
+        assert {(s.width, s.height) for s in shapes} == {
+            (estimate.width, estimate.height),
+            (estimate.height, estimate.width),
+        }
+
+    def test_shape_cache_stable_until_edit(self, provider):
+        first = provider("inc_counter")
+        assert provider("inc_counter") is first
+        provider.apply("inc_counter", DisconnectTerminal("ff0", "d"))
+        assert provider("inc_counter") is not first
+
+    def test_edit_invalidates_only_edited_module(self, provider):
+        counter = provider("inc_counter")
+        decoder = provider("inc_decoder")
+        provider.apply("inc_counter", RemoveDevice("ff3"))
+        assert provider("inc_decoder") is decoder
+        assert provider("inc_counter") is not counter
+
+    def test_apply_returns_new_revision(self, provider):
+        assert provider.engine("inc_counter").stats_version == 0
+        version = provider.apply(
+            "inc_counter", DisconnectTerminal("ff0", "d")
+        )
+        assert version == 1
+
+    def test_candidates_match_scan_based_search(self, provider, cmos):
+        """The aspect-ratio spread from maintained statistics equals the
+        classic scan-and-search path, field for field."""
+        config = EstimatorConfig()
+        module = _modules()[0]
+        expected = standard_cell_candidates(module, cmos, config, count=5)
+        served = provider.candidates("inc_counter", count=5)
+        assert [_fields(c) for c in served] == [
+            _fields(c) for c in expected
+        ]
+
+    def test_edited_shapes_track_the_edit(self, provider):
+        """After removing a device the served shape must shrink to the
+        freshly estimated dimensions."""
+        provider("inc_counter")
+        provider.apply("inc_counter", RemoveDevice("ff3"))
+        shapes = provider("inc_counter")
+        estimate = provider.engine("inc_counter").estimate()
+        assert (estimate.width, estimate.height) in {
+            (s.width, s.height) for s in shapes
+        }
+
+
+class TestIterationLoop:
+    """The C2 satellite: identical trajectory, no rescans."""
+
+    def test_rejects_unknown_estimate_source(self):
+        with pytest.raises(FloorplanError, match="estimate_source"):
+            run_iteration_experiment(
+                _modules(), oracle_schedule=TINY,
+                estimate_source="psychic",
+            )
+
+    def test_incremental_matches_planned_trajectory(self, nmos):
+        """Same modules, same seed: the incremental provider must
+        reproduce the planned provider's loop step for step."""
+        tracer = Tracer()
+        with use_tracer(tracer):
+            incremental = run_iteration_experiment(
+                _modules(), process=nmos, oracle_schedule=TINY, seed=3,
+                estimate_source="incremental",
+            )
+        planned = run_iteration_experiment(
+            _modules(), process=nmos, oracle_schedule=TINY, seed=3,
+            estimate_source="planned",
+        )
+
+        inc, pl = incremental.with_estimator, planned.with_estimator
+        assert inc.iterations == pl.iterations
+        assert inc.converged == pl.converged
+        assert inc.final_area == pl.final_area
+        assert [
+            (r.iteration, r.chip_area, r.misfits) for r in inc.history
+        ] == [
+            (r.iteration, r.chip_area, r.misfits) for r in pl.history
+        ]
+        # The naive baseline is independent of the estimate source.
+        assert (incremental.with_naive.iterations
+                == planned.with_naive.iterations)
+
+        # And the loop really ran off maintained statistics: every
+        # estimate dodged a rescan.
+        counters = tracer.metrics.counters()
+        assert counters.get("incremental.rescan_avoided", 0) > 0

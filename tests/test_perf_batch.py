@@ -225,6 +225,27 @@ class TestBenchRecord:
         with pytest.raises(BenchmarkError):
             validate_bench_record(broken)
 
+    def test_carries_incremental_phase(self, record):
+        """Schema v3: the ECO phases, section, and speedup are present
+        and the incremental path stayed bit-identical."""
+        phases = {p["name"] for p in record["phases"]}
+        assert {"eco_rebuild_per_edit", "eco_incremental"} <= phases
+        assert record["equivalence"]["eco_incremental"] is True
+        assert record["incremental"]["edits"] >= 1
+        assert record["incremental"]["module_devices"] >= 1
+        assert record["speedups"]["incremental_vs_rebuild"] > 0
+
+    def test_rejects_missing_incremental_section(self, record):
+        broken = {k: v for k, v in record.items() if k != "incremental"}
+        with pytest.raises(BenchmarkError, match="incremental"):
+            validate_bench_record(broken)
+
+    def test_rejects_missing_incremental_speedup(self, record):
+        speedups = {k: v for k, v in record["speedups"].items()
+                    if k != "incremental_vs_rebuild"}
+        with pytest.raises(BenchmarkError, match="incremental_vs_rebuild"):
+            validate_bench_record({**record, "speedups": speedups})
+
     def test_load_rejects_malformed_file(self, tmp_path):
         path = tmp_path / "garbage.json"
         path.write_text("{not json")

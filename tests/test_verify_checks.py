@@ -10,6 +10,7 @@ from repro.verify.checks import (
     check_batch_jobs,
     check_caches_identity,
     check_disk_roundtrip,
+    check_incremental_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
     check_shared_within_upper_bound,
@@ -58,6 +59,40 @@ class TestEquivalenceChecks:
         with perturbed_standard_cell(1.2):
             pass
         assert check_plan_vs_direct(module, cmos).passed
+
+    def test_incremental_equivalence_passes(self, module, cmos):
+        result = check_incremental_equivalence(module, cmos)
+        assert result.passed, result.detail
+
+    def test_incremental_equivalence_excluded_at_transistor_level(
+        self, transistor_module, nmos
+    ):
+        results = run_module_checks(transistor_module, nmos, "full-custom")
+        assert "incremental_equivalence" not in {
+            r.name for r in results
+        }
+
+    def test_incremental_equivalence_catches_divergence(
+        self, module, cmos, monkeypatch
+    ):
+        """Skew the from-scratch side: the check must notice the
+        incremental estimate no longer matches it."""
+        import dataclasses as dc
+
+        import repro.verify.checks as checks_mod
+
+        original = checks_mod.estimate_standard_cell_from_stats
+
+        def skewed(stats, process, config=None):
+            estimate = original(stats, process, config)
+            return dc.replace(estimate, area=estimate.area * 1.5)
+
+        monkeypatch.setattr(
+            checks_mod, "estimate_standard_cell_from_stats", skewed
+        )
+        result = check_incremental_equivalence(module, cmos)
+        assert not result.passed
+        assert "step 0" in result.detail
 
     def test_caches_and_trace_survive_injection(self, module, cmos):
         # The injected fault perturbs *consistently*, so identity checks

@@ -159,3 +159,28 @@ class TestRecordValidation:
             shrunk_device_count=1,
         )
         assert SeedRecord.from_dict(record.to_dict()) == record
+
+
+class TestCheckFilter:
+    def test_filter_restricts_equivalence_and_metamorphic(self):
+        report = run_verify(VerifyOptions(
+            seeds=4, check_envelope=False,
+            checks=("incremental_equivalence",),
+        ))
+        assert report.passed
+        names = set(report.check_counts)
+        assert "incremental_equivalence" in names
+        assert "plan_vs_direct" not in names
+        assert "shared_within_upper_bound" not in names
+
+    def test_no_filter_runs_everything(self):
+        report = run_verify(VerifyOptions(seeds=4, check_envelope=False))
+        assert "incremental_equivalence" in report.check_counts
+        assert "plan_vs_direct" in report.check_counts
+
+    def test_wants_defaults_to_all(self):
+        options = VerifyOptions(seeds=1)
+        assert options.wants("anything")
+        filtered = VerifyOptions(seeds=1, checks=("plan_vs_direct",))
+        assert filtered.wants("plan_vs_direct")
+        assert not filtered.wants("batch_jobs")
