@@ -30,10 +30,7 @@ from repro.core.results import (
     ModuleEstimate,
     StandardCellEstimate,
 )
-from repro.core.standard_cell import (
-    choose_initial_rows,
-    estimate_standard_cell_from_stats,
-)
+from repro.core.standard_cell import choose_initial_rows
 from repro.errors import EstimationError
 from repro.netlist.model import Module
 from repro.netlist.stats import scan_module
@@ -80,11 +77,14 @@ def standard_cell_candidates_from_stats(
         else choose_initial_rows(stats, process, config)
     )
     row_counts = _spread_around(centre, count, config.max_rows)
-    return [
-        estimate_standard_cell_from_stats(stats, process,
-                                          config.with_rows(rows))
-        for rows in row_counts
-    ]
+    # Deferred: repro.perf.plan imports repro.core.standard_cell.
+    from repro.perf.plan import get_plan
+
+    # One batched plan evaluation covers the whole spread (the numpy
+    # backend's 2-D row-sweep kernel; bit-identical to the per-row
+    # direct path under exact via the plan_vs_direct invariant).
+    plan = get_plan(stats, process, config)
+    return list(plan.evaluate_rows(row_counts))
 
 
 def full_custom_candidates(

@@ -32,11 +32,8 @@ from typing import List, Optional, Tuple
 from repro.core.config import EstimatorConfig
 from repro.core.probability import expected_feedthroughs
 from repro.obs.trace import current_tracer
-from repro.perf.kernels import (
-    central_feedthrough_probability,
-    feedthrough_mean_for_histogram,
-    tracks_for_histogram,
-)
+from repro.perf.backends import current_backend
+from repro.perf.kernels import central_feedthrough_probability
 from repro.core.results import StandardCellEstimate
 from repro.errors import EstimationError
 from repro.netlist.model import Module
@@ -133,6 +130,7 @@ def sweep_rows(
     row_counts: Tuple[int, ...],
     config: Optional[EstimatorConfig] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> List[StandardCellEstimate]:
     """Estimates at several row counts (the paper shows 2-3 per module
     in Table 2; "the area estimate decreased as the number of rows
@@ -140,7 +138,9 @@ def sweep_rows(
 
     ``jobs`` > 1 fans the row counts across the batch executor's
     process pool; results are identical and in ``row_counts`` order
-    either way.
+    either way.  ``backend`` selects the kernel evaluation backend
+    (``None``: the process default) — under ``numpy`` the whole sweep
+    is one 2-D (rows x net-size) kernel evaluation.
     """
     # Deferred: repro.perf.batch imports this module.
     from repro.perf.batch import estimate_batch
@@ -152,6 +152,7 @@ def sweep_rows(
         [config.with_rows(rows) for rows in row_counts],
         methodologies=("standard-cell",),
         jobs=jobs,
+        backend=backend,
     )
     return [result.estimate for result in results]
 
@@ -215,9 +216,12 @@ def _expected_tracks(
     tracer = current_tracer()
     with tracer.span("sc.tracks") as span:
         histogram = stats.multi_component_nets
-        # One kernel call covers the whole histogram (a hit returns
-        # every net size's Eq. 3 demand in a single lookup).
-        per_net = tracks_for_histogram(histogram, rows, config.row_spread_mode)
+        # One backend call covers the whole histogram (under ``exact``,
+        # a cache hit returns every net size's Eq. 3 demand in a single
+        # lookup; under ``numpy``, one vectorized array pass).
+        per_net = current_backend().tracks_for_histogram(
+            histogram, rows, config.row_spread_mode
+        )
         per_size: List[Tuple[int, int]] = []
         total = 0
         for (components, count), tracks in zip(histogram, per_net):
@@ -271,8 +275,8 @@ def _expected_feedthroughs(
                 span.set("feedthroughs", count)
             return count
         # General model: per net size D, Eq. 8 at the central row, the
-        # whole histogram in one kernel call.
-        mean = feedthrough_mean_for_histogram(
+        # whole histogram in one backend call.
+        mean = current_backend().feedthrough_mean_for_histogram(
             stats.multi_component_nets, rows, "general"
         )
         count = round_up(mean)

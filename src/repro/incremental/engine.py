@@ -89,9 +89,13 @@ class IncrementalEstimator:
         process: ProcessDatabase,
         config: Optional[EstimatorConfig] = None,
         copy_module: bool = True,
+        backend: Optional[str] = None,
     ):
         self.process = process
         self.config = config or EstimatorConfig()
+        #: Kernel backend name for every estimate served by this engine
+        #: (``None``: resolve against the process default per call).
+        self.backend = backend
         self._module = module.copy() if copy_module else module
         self._power = frozenset(p.lower() for p in self.config.power_nets)
         self._port_pitch = (
@@ -192,6 +196,7 @@ class IncrementalEstimator:
             plan = get_plan(
                 stats, self.process, self.config,
                 expected_version=self._version,
+                backend=self.backend,
             )
             reused = plan is self._last_plan
             self._last_plan = plan

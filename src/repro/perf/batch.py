@@ -52,6 +52,7 @@ from repro.obs.trace import (
     reset_current_tracer,
     use_tracer,
 )
+from repro.perf.backends import resolve_backend_name, set_default_backend
 from repro.perf.kernels import (
     clear_kernel_caches,
     install_kernel_caches,
@@ -126,6 +127,7 @@ def estimate_batch(
     jobs: int = 1,
     warm_start: bool = True,
     force_pool: bool = False,
+    backend: Optional[str] = None,
 ) -> List[BatchResult]:
     """Estimate every (module x methodology x config) combination.
 
@@ -157,6 +159,12 @@ def estimate_batch(
     force_pool:
         Skip the core-count clamp (benchmarking worker behaviour on
         hosts with fewer cores than ``jobs``).
+    backend:
+        Kernel evaluation backend name (``None``: the process default,
+        see :mod:`repro.perf.backends`).  Resolved once up front; pool
+        workers inherit the resolved backend through the initializer,
+        so a ``numpy`` parent never silently mixes in ``exact`` workers
+        (or vice versa).
 
     Returns
     -------
@@ -177,6 +185,7 @@ def estimate_batch(
 
     modules = list(modules)
     per_module_configs = _normalise_configs(modules, configs)
+    backend_name = resolve_backend_name(backend)
     tracer = current_tracer()
     # When the parent is tracing, workers must trace too: each pool
     # worker collects spans and counters locally and ships them back
@@ -184,7 +193,8 @@ def estimate_batch(
     # the serial path.
     capture = tracer.enabled
     groups = [
-        (module, process, methodologies, module_configs, capture)
+        (module, process, methodologies, module_configs, capture,
+         backend_name)
         for module, module_configs in zip(modules, per_module_configs)
     ]
 
@@ -203,7 +213,7 @@ def estimate_batch(
         if workers <= 1:
             outcomes = [_estimate_module_group(group) for group in groups]
         else:
-            outcomes = _run_pool(groups, workers, warm_start)
+            outcomes = _run_pool(groups, workers, warm_start, backend_name)
 
         estimate_lists: List[List[Estimate]] = []
         for estimates, worker_records, worker_counters in outcomes:
@@ -256,7 +266,7 @@ GroupOutcome = Tuple[List[Estimate], Optional[list], Optional[dict]]
 
 
 def _run_pool(
-    groups: list, workers: int, warm_start: bool
+    groups: list, workers: int, warm_start: bool, backend_name: str
 ) -> List[GroupOutcome]:
     """Fan the per-module groups across a process pool.
 
@@ -281,7 +291,7 @@ def _run_pool(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(snapshot,),
+            initargs=(snapshot, backend_name),
         ) as pool:
             futures = [
                 pool.submit(_pooled_module_group, group) for group in groups
@@ -307,7 +317,9 @@ def _run_pool(
     return outcomes
 
 
-def _init_worker(snapshot: Optional[dict]) -> None:
+def _init_worker(
+    snapshot: Optional[dict], backend_name: Optional[str] = None
+) -> None:
     """Pool-worker initializer: start deterministically cold or warm.
 
     The explicit clear makes cold workers cold even under the ``fork``
@@ -319,6 +331,11 @@ def _init_worker(snapshot: Optional[dict]) -> None:
     bypass the capture path that ships spans back to the parent.
     """
     reset_current_tracer()
+    if backend_name is not None:
+        # Pool workers inherit the parent's *resolved* backend; under
+        # ``spawn`` the worker would otherwise boot on the registry
+        # default ("exact") regardless of the parent's selection.
+        set_default_backend(backend_name)
     clear_kernel_caches()
     clear_plan_cache()
     if snapshot is not None:
@@ -351,19 +368,27 @@ def _estimate_module_group(group) -> GroupOutcome:
     parent to merge.  Inline (serial) execution records straight into
     the parent's tracer and returns ``None`` for both.
     """
-    module, process, methodologies, configs, capture = group
+    module, process, methodologies, configs, capture, backend_name = group
     tracer = current_tracer()
     if capture and not tracer.enabled:
         local = Tracer()
         with use_tracer(local):
             with local.span("batch.worker_group") as span:
                 span.set("module", module.name)
-                estimates = _run_group(module, process, methodologies, configs)
+                estimates = _run_group(
+                    module, process, methodologies, configs, backend_name
+                )
         return estimates, local.records(), local.metrics.counters()
-    return _run_group(module, process, methodologies, configs), None, None
+    return (
+        _run_group(module, process, methodologies, configs, backend_name),
+        None,
+        None,
+    )
 
 
-def _run_group(module, process, methodologies, configs) -> List[Estimate]:
+def _run_group(
+    module, process, methodologies, configs, backend_name=None
+) -> List[Estimate]:
     scans: dict = {}
 
     def stats_for(config: EstimatorConfig) -> ModuleStatistics:
@@ -386,18 +411,40 @@ def _run_group(module, process, methodologies, configs) -> List[Estimate]:
 
     estimates: List[Estimate] = []
     for methodology in methodologies:
-        for config in configs:
-            if methodology == "standard-cell":
-                # Compiled-plan path: one compilation per (stats, config
-                # family), one array-at-once evaluation per row count.
-                plan = get_plan(stats_for(config), process, config)
-                estimates.append(plan.evaluate(config.rows))
-            else:
+        if methodology != "standard-cell":
+            for config in configs:
                 estimates.append(
                     estimate_full_custom(
                         module, process, config, stats=stats_for(config)
                     )
                 )
+            continue
+        # Compiled-plan path: one compilation per (stats, config
+        # family), and consecutive configs that differ only in their
+        # explicit row count — the row-sweep shape — collapse into one
+        # batched plan.evaluate_rows() call (the numpy backend's 2-D
+        # kernel; a plain loop under exact).
+        index = 0
+        while index < len(configs):
+            config = configs[index]
+            plan = get_plan(
+                stats_for(config), process, config, backend=backend_name
+            )
+            run = [config]
+            if config.rows is not None:
+                family = config.with_rows(None)
+                while index + len(run) < len(configs):
+                    nxt = configs[index + len(run)]
+                    if nxt.rows is None or nxt.with_rows(None) != family:
+                        break
+                    run.append(nxt)
+            if len(run) > 1:
+                estimates.extend(
+                    plan.evaluate_rows([c.rows for c in run])
+                )
+            else:
+                estimates.append(plan.evaluate(config.rows))
+            index += len(run)
     return estimates
 
 

@@ -51,6 +51,20 @@ from repro.units import round_up
 ROW_SPREAD_MODES = ("paper", "exact")
 
 
+def _canonical_mode(components: int, rows: int, mode: str) -> str:
+    """Collapse equivalent (D, n, mode) cache keys onto one.
+
+    When ``D <= n`` the two modes are *literally* the same arithmetic:
+    ``max_spread = D`` and both denominators are ``rows ** D``, so the
+    PMF — and everything derived from it — is bit-identical.  Keying
+    those calls under ``"paper"`` lets mixed-mode workloads (the verify
+    suite runs both) share one cache entry instead of recomputing the
+    identical value under a second key."""
+    if mode == "exact" and components <= rows:
+        return "paper"
+    return mode
+
+
 # ----------------------------------------------------------------------
 # cache infrastructure
 # ----------------------------------------------------------------------
@@ -421,11 +435,15 @@ def row_spread_pmf(
     components: int, rows: int, mode: str = "paper"
 ) -> Tuple[float, ...]:
     """Memoized P_rows(i), i = 1..min(n, D) (Eq. 2)."""
-    return row_spread_pmf_kernel(components, rows, mode)
+    return row_spread_pmf_kernel(
+        components, rows, _canonical_mode(components, rows, mode)
+    )
 
 
 def _expected_row_spread(components: int, rows: int, mode: str) -> float:
-    pmf = row_spread_pmf_kernel(components, rows, mode)
+    pmf = row_spread_pmf_kernel(
+        components, rows, _canonical_mode(components, rows, mode)
+    )
     return sum(i * p for i, p in enumerate(pmf, start=1))
 
 
@@ -436,13 +454,17 @@ def expected_row_spread(
     components: int, rows: int, mode: str = "paper"
 ) -> float:
     """Memoized E(i) of Eq. 3."""
-    return expected_row_spread_kernel(components, rows, mode)
+    return expected_row_spread_kernel(
+        components, rows, _canonical_mode(components, rows, mode)
+    )
 
 
 def _tracks_for_net(components: int, rows: int, mode: str) -> int:
     if components <= 1:
         return 0
-    return max(1, round_up(expected_row_spread_kernel(components, rows, mode)))
+    return max(1, round_up(expected_row_spread_kernel(
+        components, rows, _canonical_mode(components, rows, mode)
+    )))
 
 
 tracks_for_net_kernel = _kernel(_tracks_for_net)
@@ -450,7 +472,9 @@ tracks_for_net_kernel = _kernel(_tracks_for_net)
 
 def tracks_for_net(components: int, rows: int, mode: str = "paper") -> int:
     """Memoized per-net track demand (Eq. 3, rounded up)."""
-    return tracks_for_net_kernel(components, rows, mode)
+    return tracks_for_net_kernel(
+        components, rows, _canonical_mode(components, rows, mode)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -531,7 +555,9 @@ def _tracks_for_histogram_fast(
     histogram: Tuple[Tuple[int, int], ...], rows: int, mode: str
 ) -> Tuple[int, ...]:
     return tuple(
-        tracks_for_net_kernel(components, rows, mode)
+        tracks_for_net_kernel(
+            components, rows, _canonical_mode(components, rows, mode)
+        )
         for components, _ in histogram
     )
 
@@ -555,7 +581,14 @@ def tracks_for_histogram(
     histogram: ``result[k]`` is the track demand of one net of size
     ``net_size_histogram[k][0]``.
     """
-    return tracks_for_histogram_kernel(tuple(net_size_histogram), rows, mode)
+    histogram = tuple(net_size_histogram)
+    if mode == "exact" and all(
+        components <= rows for components, _ in histogram
+    ):
+        # Every net is in the D <= n regime where the modes coincide
+        # bit-for-bit, so the whole-histogram entry can be shared too.
+        mode = "paper"
+    return tracks_for_histogram_kernel(histogram, rows, mode)
 
 
 def _feedthrough_mean_for_histogram(

@@ -42,11 +42,8 @@ from repro.core.standard_cell import choose_initial_rows
 from repro.errors import EstimationError, StaleStatisticsError
 from repro.netlist.stats import ModuleStatistics
 from repro.obs.trace import current_tracer
-from repro.perf.kernels import (
-    central_feedthrough_probability,
-    feedthrough_mean_for_histogram,
-    tracks_for_histogram,
-)
+from repro.perf.backends import get_backend, resolve_backend_name
+from repro.perf.kernels import central_feedthrough_probability
 from repro.technology.process import ProcessDatabase
 from repro.units import round_up
 
@@ -66,6 +63,7 @@ class EstimationPlan:
         "stats", "process", "config", "histogram", "net_sizes",
         "net_counts", "routed_net_count", "device_count", "average_width",
         "cell_area", "row_height", "track_pitch", "feedthrough_unit_width",
+        "backend_name",
     )
 
     def __init__(
@@ -73,9 +71,15 @@ class EstimationPlan:
         stats: ModuleStatistics,
         process: ProcessDatabase,
         config: EstimatorConfig,
+        backend: Optional[str] = None,
     ):
         self.stats = stats
         self.process = process
+        #: Plans store the *name* of their kernel backend (resolved at
+        #: compile time — ``None`` means the process default) and look
+        #: the instance up per evaluation, so plans stay picklable and
+        #: pool workers resolve against their own registry.
+        self.backend_name = resolve_backend_name(backend)
         #: Row count is an evaluate()-time argument, never plan state.
         self.config = config.with_rows(None)
         #: The (D, y_D) histogram, frozen once (the property rebuilds
@@ -109,51 +113,114 @@ class EstimationPlan:
                     f"row count must be >= 1, got {rows}"
                 )
 
-            per_size = tracks_for_histogram(
+            per_size = get_backend(self.backend_name).tracks_for_histogram(
                 self.histogram, rows, config.row_spread_mode
             )
-            total = 0
-            for tracks_per_net, count in zip(per_size, self.net_counts):
-                total += tracks_per_net * count
-            if config.track_model == "shared":
-                from repro.core.sharing import estimate_shared_tracks
-
-                shared = estimate_shared_tracks(
-                    self.histogram,
-                    rows,
-                    config.congestion_margin,
-                    config.row_spread_mode,
-                ).total_tracks
-                # The upper bound stays an upper bound.
-                shared = min(shared, total)
-            else:
-                shared = math.ceil(total * config.track_sharing_factor)
-            tracks = shared
-
-            feedthroughs = self._feedthroughs(rows, tracer)
-
-            cell_width_per_row = (
-                self.average_width * self.device_count / rows
-            )
-            feedthrough_width = feedthroughs * self.feedthrough_unit_width
-            width = cell_width_per_row + feedthrough_width
-            height = rows * self.row_height + tracks * self.track_pitch
-            area = width * height
-            cell_area = self.cell_area
-
-            if tracer.enabled:
-                span.set("module", self.stats.module_name)
-                span.set("rows", rows)
-                span.set("tracks", tracks)
-                span.set("feedthroughs", feedthroughs)
-                metrics = tracer.metrics
-                metrics.incr("sc.estimates")
-                metrics.incr("sc.nets_routed", self.routed_net_count)
-                metrics.incr("sc.tracks_total", tracks)
-                metrics.incr("sc.feedthroughs_total", feedthroughs)
-                metrics.incr("sc.track_nets", self.routed_net_count)
-
+            estimate = self._assemble(rows, per_size, None, tracer, span)
         _note_evaluation()
+        return estimate
+
+    def evaluate_rows(
+        self, row_counts
+    ) -> Tuple[StandardCellEstimate, ...]:
+        """The Eq. 12 estimates at every row count, in one batched pass.
+
+        Under the ``exact`` backend this is a plain loop over
+        :meth:`evaluate` (bit-identity is trivial); under ``numpy`` the
+        track demands for *all* candidate row counts come from one 2-D
+        (rows x net-size) kernel evaluation and the feed-through means
+        from one batched call, with only the scalar Eq. 12 assembly per
+        row — the kernel that makes ``sweep_rows`` and the C2 iteration
+        loop one array pass instead of a per-row scalar walk.
+        """
+        row_counts = tuple(row_counts)
+        if not row_counts:
+            return ()
+        backend = get_backend(self.backend_name)
+        if backend.name == "exact":
+            return tuple(self.evaluate(rows) for rows in row_counts)
+        config = self.config
+        for rows in row_counts:
+            if rows is None or rows < 1:
+                raise EstimationError(
+                    f"row count must be >= 1, got {rows}"
+                )
+        per_size_rows = backend.tracks_for_histogram_rows(
+            self.histogram, row_counts, config.row_spread_mode
+        )
+        if config.feedthrough_model == "two-component":
+            means = None
+        else:
+            means = backend.feedthrough_means_for_rows(
+                self.histogram, row_counts, "general"
+            )
+        tracer = current_tracer()
+        estimates = []
+        for index, rows in enumerate(row_counts):
+            with tracer.span("plan.evaluate") as span:
+                estimate = self._assemble(
+                    rows,
+                    per_size_rows[index],
+                    None if means is None else means[index],
+                    tracer,
+                    span,
+                )
+            _note_evaluation()
+            estimates.append(estimate)
+        return tuple(estimates)
+
+    def _assemble(
+        self,
+        rows: int,
+        per_size: Tuple[int, ...],
+        feedthrough_mean: Optional[float],
+        tracer,
+        span,
+    ) -> StandardCellEstimate:
+        """Scalar Eq. 12 assembly from precomputed per-net-size tracks
+        (and, on the batched path, a precomputed feed-through mean)."""
+        config = self.config
+        total = 0
+        for tracks_per_net, count in zip(per_size, self.net_counts):
+            total += tracks_per_net * count
+        if config.track_model == "shared":
+            from repro.core.sharing import estimate_shared_tracks
+
+            shared = estimate_shared_tracks(
+                self.histogram,
+                rows,
+                config.congestion_margin,
+                config.row_spread_mode,
+            ).total_tracks
+            # The upper bound stays an upper bound.
+            shared = min(shared, total)
+        else:
+            shared = math.ceil(total * config.track_sharing_factor)
+        tracks = shared
+
+        feedthroughs = self._feedthroughs(rows, tracer, feedthrough_mean)
+
+        cell_width_per_row = (
+            self.average_width * self.device_count / rows
+        )
+        feedthrough_width = feedthroughs * self.feedthrough_unit_width
+        width = cell_width_per_row + feedthrough_width
+        height = rows * self.row_height + tracks * self.track_pitch
+        area = width * height
+        cell_area = self.cell_area
+
+        if tracer.enabled:
+            span.set("module", self.stats.module_name)
+            span.set("rows", rows)
+            span.set("tracks", tracks)
+            span.set("feedthroughs", feedthroughs)
+            metrics = tracer.metrics
+            metrics.incr("sc.estimates")
+            metrics.incr("sc.nets_routed", self.routed_net_count)
+            metrics.incr("sc.tracks_total", tracks)
+            metrics.incr("sc.feedthroughs_total", feedthroughs)
+            metrics.incr("sc.track_nets", self.routed_net_count)
+
         return StandardCellEstimate(
             module_name=self.stats.module_name,
             rows=rows,
@@ -169,7 +236,9 @@ class EstimationPlan:
             area=area,
         )
 
-    def _feedthroughs(self, rows: int, tracer) -> int:
+    def _feedthroughs(
+        self, rows: int, tracer, mean: Optional[float] = None
+    ) -> int:
         config = self.config
         if rows < 3:
             # No interior row exists; nothing can straddle a row.
@@ -177,9 +246,10 @@ class EstimationPlan:
         if config.feedthrough_model == "two-component":
             probability = central_feedthrough_probability(rows)
             return expected_feedthroughs(self.routed_net_count, probability)
-        mean = feedthrough_mean_for_histogram(
-            self.histogram, rows, "general"
-        )
+        if mean is None:
+            mean = get_backend(
+                self.backend_name
+            ).feedthrough_mean_for_histogram(self.histogram, rows, "general")
         if tracer.enabled:
             tracer.metrics.incr("feedthrough.mean_sum", mean)
         return round_up(mean)
@@ -195,6 +265,7 @@ def compile_plan(
     stats: ModuleStatistics,
     process: ProcessDatabase,
     config: Optional[EstimatorConfig] = None,
+    backend: Optional[str] = None,
 ) -> EstimationPlan:
     """Compile a fresh plan (no cache), validating the inputs exactly
     like the direct estimator."""
@@ -204,7 +275,7 @@ def compile_plan(
             f"module {stats.module_name!r}: cannot estimate an empty module"
         )
     _PLAN_COUNTERS["compilations"] += 1
-    return EstimationPlan(stats, process, config)
+    return EstimationPlan(stats, process, config, backend)
 
 
 # ----------------------------------------------------------------------
@@ -218,15 +289,19 @@ def _plan_key(
     stats: ModuleStatistics,
     process: ProcessDatabase,
     config: EstimatorConfig,
+    backend_name: str,
 ) -> tuple:
     # Only these three process constants reach the Eq. 12 arithmetic
     # (device geometry is already baked into the scan statistics), so
-    # they — not object identity — define plan equivalence.
+    # they — not object identity — define plan equivalence.  The
+    # backend is part of the key: a plan compiled for ``numpy`` must
+    # never be served to an ``exact`` caller (and vice versa).
     return (
         stats,
         (process.row_height, process.track_pitch,
          process.feedthrough_width),
         config.with_rows(None),
+        backend_name,
     )
 
 
@@ -235,6 +310,7 @@ def get_plan(
     process: ProcessDatabase,
     config: Optional[EstimatorConfig] = None,
     expected_version: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> EstimationPlan:
     """The cached plan for this (stats, process, config-sans-rows)
     triple, compiling on first use.
@@ -256,10 +332,11 @@ def get_plan(
             f"{expected_version} was expected — rescan (or re-snapshot "
             "the incremental engine) before planning"
         )
-    key = _plan_key(stats, process, config)
+    backend_name = resolve_backend_name(backend)
+    key = _plan_key(stats, process, config, backend_name)
     plan = _PLAN_CACHE.get(key)
     if plan is None:
-        plan = compile_plan(stats, process, config)
+        plan = compile_plan(stats, process, config, backend_name)
         _PLAN_CACHE[key] = plan
     else:
         _PLAN_COUNTERS["hits"] += 1
@@ -299,7 +376,9 @@ def install_plans(plans: List[EstimationPlan]) -> int:
     number installed."""
     installed = 0
     for plan in plans:
-        key = _plan_key(plan.stats, plan.process, plan.config)
+        key = _plan_key(
+            plan.stats, plan.process, plan.config, plan.backend_name
+        )
         if key not in _PLAN_CACHE:
             _PLAN_CACHE[key] = plan
             installed += 1

@@ -7,9 +7,19 @@ work.  See :mod:`repro.verify.runner` for the stage pipeline and
 ``mae verify`` for the CLI front door.
 """
 
+from repro.verify.backend_envelope import (
+    BACKEND_ENVELOPE_SCHEMA_VERSION,
+    BackendEnvelopeBounds,
+    BackendEnvelopePoint,
+    load_backend_envelope,
+    measure_backend_envelope,
+    measure_backend_errors,
+    save_backend_envelope,
+)
 from repro.verify.checks import (
     CheckResult,
     check_area_monotone_in_devices,
+    check_backend_equivalence,
     check_batch_jobs,
     check_caches_identity,
     check_disk_roundtrip,
@@ -30,7 +40,7 @@ from repro.verify.envelope import (
     summarize,
     verification_schedule,
 )
-from repro.verify.inject import perturbed_standard_cell
+from repro.verify.inject import perturbed_backend, perturbed_standard_cell
 from repro.verify.records import (
     RECORD_SCHEMA_VERSION,
     SeedRecord,
@@ -47,6 +57,9 @@ from repro.verify.runner import (
 from repro.verify.shrink import ShrinkResult, shrink_module, without_devices
 
 __all__ = [
+    "BACKEND_ENVELOPE_SCHEMA_VERSION",
+    "BackendEnvelopeBounds",
+    "BackendEnvelopePoint",
     "CaseSpec",
     "CheckResult",
     "EnvelopeBounds",
@@ -58,6 +71,7 @@ __all__ = [
     "VerifyOptions",
     "VerifyReport",
     "check_area_monotone_in_devices",
+    "check_backend_equivalence",
     "check_batch_jobs",
     "check_caches_identity",
     "check_disk_roundtrip",
@@ -70,9 +84,14 @@ __all__ = [
     "check_trace_identity",
     "draw_corpus",
     "family_names",
+    "load_backend_envelope",
     "load_records",
+    "measure_backend_envelope",
+    "measure_backend_errors",
     "measure_case",
+    "perturbed_backend",
     "perturbed_standard_cell",
+    "save_backend_envelope",
     "replay_records",
     "run_module_checks",
     "run_verify",

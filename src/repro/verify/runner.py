@@ -45,6 +45,7 @@ from repro.verify.checks import (
     check_batch_jobs,
     check_caches_identity,
     check_disk_roundtrip,
+    check_backend_equivalence,
     check_incremental_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
@@ -150,6 +151,7 @@ CHECK_STAGES: Dict[str, str] = {
     "caches_identity": "equivalence",
     "trace_identity": "equivalence",
     "incremental_equivalence": "equivalence",
+    "backend_equivalence": "equivalence",
     "batch_jobs": "equivalence",
     "disk_roundtrip": "equivalence",
     "shared_within_upper_bound": "metamorphic",
@@ -198,6 +200,8 @@ def _single_check(
         return check_disk_roundtrip(module, process)
     if name == "incremental_equivalence":
         return check_incremental_equivalence(module, process)
+    if name == "backend_equivalence":
+        return check_backend_equivalence(module, process)
     if name == "shared_within_upper_bound":
         return check_shared_within_upper_bound(module, process)
     if name == "sharing_factor_monotone":

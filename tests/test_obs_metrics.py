@@ -150,13 +150,15 @@ class TestBatchMetricsMerge:
         """
         case = table2_suite()[0]
         configs = tuple(EstimatorConfig(rows=r) for r in case.row_counts)
-        group = (case.module, nmos, ("standard-cell",), configs, True)
+        group = (case.module, nmos, ("standard-cell",), configs, True,
+                 "exact")
 
         # Inline reference: same group, recorded by an active tracer.
         inline = Tracer()
         with use_tracer(inline):
             inline_estimates, records, counters = _estimate_module_group(
-                (case.module, nmos, ("standard-cell",), configs, True)
+                (case.module, nmos, ("standard-cell",), configs, True,
+                 "exact")
             )
         assert records is None and counters is None
 
