@@ -40,7 +40,12 @@ from repro.errors import (
     NetlistError,
     ObservabilityError,
     ParseError,
+    QueueFullError,
     ReproError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    SessionError,
     TechnologyError,
     VerificationError,
 )
@@ -98,7 +103,12 @@ __all__ = [
     "Port",
     "PortDirection",
     "ProcessDatabase",
+    "QueueFullError",
     "ReproError",
+    "RequestTimeoutError",
+    "ServiceClosedError",
+    "ServiceError",
+    "SessionError",
     "StandardCellEstimate",
     "TechnologyError",
     "Tracer",

@@ -39,16 +39,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 2
     try:
-        # Opt-in cross-process warm start: load the kernel caches before
-        # the command runs and save them back after it succeeds, so
-        # repeated CLI invocations skip the shared combinatorial work.
-        from repro.perf.diskcache import (
-            load_kernel_caches,
-            resolve_cache_path,
-            save_kernel_caches,
-        )
-
         from repro.perf.backends import apply_cli_backend
+        from repro.perf.diskcache import persistent_kernel_caches
 
         # Resolve --backend / $MAE_BACKEND once, up front: every
         # estimator call in the command (and every pool worker it
@@ -56,13 +48,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # unavailable backend fails here with a clean error.
         apply_cli_backend(getattr(args, "backend", None))
 
-        cache_path = resolve_cache_path(getattr(args, "kernel_cache", None))
-        if cache_path is not None:
-            # missing_ok: the first run creates the file.
-            load_kernel_caches(cache_path, missing_ok=True)
-        args.handler(args)
-        if cache_path is not None:
-            save_kernel_caches(cache_path)
+        # Opt-in cross-process warm start: load the kernel caches before
+        # the command runs and save them back after it succeeds, so
+        # repeated CLI invocations skip the shared combinatorial work.
+        with persistent_kernel_caches(getattr(args, "kernel_cache", None)):
+            args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -246,7 +236,44 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="X",
                        help="fail unless the incremental ECO path is at "
                             "least X times rebuild-per-edit")
+    bench.add_argument("--assert-serve-throughput", type=float,
+                       default=None, metavar="EPS",
+                       help="fail unless the serve phase sustains at "
+                            "least EPS estimates/sec across its "
+                            "concurrent sessions")
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the estimation service: HTTP+JSON sessions over the "
+             "shared engine facade (docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; use "
+                            "0.0.0.0 behind a trusted proxy only — "
+                            "there is no auth layer)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="bind port (default: 8750; 0 picks an "
+                            "ephemeral port and prints it)")
+    serve.add_argument("--max-sessions", type=int, default=64, metavar="N",
+                       help="open-session limit; exceeding it answers "
+                            "409 (default: 64)")
+    serve.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                       help="bounded estimate-queue depth; a full queue "
+                            "answers 429 (default: 256)")
+    serve.add_argument("--coalesce-limit", type=int, default=32,
+                       metavar="N",
+                       help="max queued requests one dispatcher drain "
+                            "serves together (default: 32)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="default per-request seconds before a queued "
+                            "estimate is abandoned with 504 "
+                            "(default: 30; bodies may override)")
+    serve.add_argument("--max-inflight", type=int, default=128, metavar="N",
+                       help="concurrently handled HTTP requests before "
+                            "the server answers 429 (default: 128)")
+    _add_jobs_argument(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     eco = sub.add_parser(
         "eco",
@@ -726,6 +753,44 @@ def _cmd_bench(args) -> None:
             f"numpy backend sweep speedup {ratio:.2f}x meets the "
             f"required {args.assert_backend_speedup:.2f}x"
         )
+    if args.assert_serve_throughput is not None:
+        rate = record["serve"]["estimates_per_sec"]
+        if rate < args.assert_serve_throughput:
+            raise BenchmarkError(
+                f"serve throughput {rate:.1f} estimates/sec is below "
+                f"the required {args.assert_serve_throughput:.1f}"
+            )
+        print(
+            f"serve throughput {rate:.1f} estimates/sec meets the "
+            f"required {args.assert_serve_throughput:.1f}"
+        )
+
+
+def _cmd_serve(args) -> None:
+    from repro.service.engine import EstimationEngine, ServiceConfig
+    from repro.service.server import MAEServer, ROUTES
+
+    engine = EstimationEngine(ServiceConfig(
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        coalesce_limit=args.coalesce_limit,
+        request_timeout=args.timeout,
+        jobs=args.jobs,
+    ))
+    server = MAEServer(
+        engine, host=args.host, port=args.port,
+        max_inflight=args.max_inflight,
+    )
+    print(f"mae serve listening on {server.base_url}")
+    for method, path, summary in ROUTES:
+        print(f"  {method:6s} {path:24s} {summary}")
+    print("Ctrl-C drains in-flight work and stops.")
+    try:
+        server.run_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        server.stop(drain=True)
+    print("mae serve stopped")
 
 
 def _cmd_eco(args) -> None:

@@ -87,3 +87,33 @@ class ObservabilityError(ReproError):
 class VerificationError(ReproError):
     """The differential verification harness found a violated invariant,
     or a verify artifact (seed record, report) is malformed."""
+
+
+class ServiceError(ReproError):
+    """Base class for estimation-service failures (``repro.service``).
+
+    The HTTP layer maps each subclass onto one status code, so a
+    caller embedding the engine facade directly sees the same taxonomy
+    as a client of ``mae serve``."""
+
+
+class SessionError(ServiceError):
+    """A service session is unknown, already closed, or the engine's
+    session limit is reached (HTTP 404 / 409)."""
+
+
+class QueueFullError(ServiceError):
+    """The engine's bounded request queue is full — the backpressure
+    signal (HTTP 429).  Clients should retry with backoff."""
+
+
+class RequestTimeoutError(ServiceError):
+    """An estimate request waited longer than the per-request timeout
+    for the dispatcher to serve it (HTTP 504).  The request is
+    abandoned: its result, if later computed, is discarded."""
+
+
+class ServiceClosedError(ServiceError):
+    """The engine is shutting down (or already shut down) and no longer
+    accepts work (HTTP 503).  In-flight requests accepted before the
+    shutdown are still drained."""

@@ -214,6 +214,44 @@ class IncrementalEstimator:
                 rows = self.config.rows
             return plan.evaluate(rows)
 
+    def estimate_rows(
+        self, row_counts: Sequence[int]
+    ) -> Tuple[StandardCellEstimate, ...]:
+        """Eq. 12 estimates at several row counts in one planning call.
+
+        The multi-row form of :meth:`estimate`: one plan lookup, then
+        :meth:`~repro.perf.plan.EstimationPlan.evaluate_rows` — a
+        single batched 2-D kernel evaluation under the numpy backend, a
+        per-row loop under exact, bit-identical either way.  The
+        service facade coalesces concurrent requests for one session
+        into this call.
+        """
+        row_counts = tuple(row_counts)
+        if not row_counts:
+            return ()
+        tracer = current_tracer()
+        with tracer.span("incremental.estimate_rows") as span:
+            stats = self.statistics()
+            plan = get_plan(
+                stats, self.process, self.config,
+                expected_version=self._version,
+                backend=self.backend,
+            )
+            reused = plan is self._last_plan
+            self._last_plan = plan
+            if tracer.enabled:
+                span.set("module", self._module.name)
+                span.set("version", self._version)
+                span.set("row_counts", len(row_counts))
+                span.set("plan_reused", reused)
+                metrics = tracer.metrics
+                metrics.incr("incremental.rescan_avoided", len(row_counts))
+                if reused:
+                    metrics.incr("incremental.plan_reused")
+                else:
+                    metrics.incr("incremental.plan_invalidated")
+            return plan.evaluate_rows(row_counts)
+
     def estimate_after(
         self, mutations: MutationInput, rows: Optional[int] = None
     ) -> StandardCellEstimate:

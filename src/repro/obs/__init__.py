@@ -20,9 +20,11 @@ See ``docs/OBSERVABILITY.md`` for the architecture and span schema.
 """
 
 from repro.obs.metrics import (
+    LatencyTracker,
     MetricsRegistry,
     get_registry,
     kernel_cache_snapshot,
+    latency_percentiles,
 )
 from repro.obs.trace import (
     NullTracer,
@@ -33,6 +35,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "LatencyTracker",
     "MetricsRegistry",
     "NullTracer",
     "Span",
@@ -40,5 +43,6 @@ __all__ = [
     "current_tracer",
     "get_registry",
     "kernel_cache_snapshot",
+    "latency_percentiles",
     "use_tracer",
 ]

@@ -27,7 +27,8 @@ from other work in the process.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
+import threading
+from typing import Dict, List, Mapping, Sequence, Union
 
 Number = Union[int, float]
 
@@ -90,6 +91,107 @@ class MetricsRegistry:
             "triangle": surjection_triangle_stats(),
             "backend": backend_stats(),
         }
+
+
+class LatencyTracker:
+    """Thread-safe latency reservoir with quantile summaries.
+
+    The estimation service records one observation per request and
+    reports p50/p99 through ``/metrics`` and the bench serve phase.
+    The reservoir keeps the most recent ``capacity`` samples (a ring
+    buffer, so a long-running server's quantiles track current load,
+    not its start-up transient) while ``count``/``total`` cover the
+    tracker's whole lifetime.
+    """
+
+    __slots__ = ("_lock", "_samples", "_capacity", "_next", "_count",
+                 "_total", "_max")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+        self._capacity = capacity
+        self._next = 0  # ring-buffer write cursor once at capacity
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation, in seconds."""
+        value = float(seconds)
+        with self._lock:
+            if len(self._samples) < self._capacity:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self._capacity
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of observations."""
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the retained samples, in
+        seconds; 0.0 when nothing has been observed."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        return samples[min(len(samples) - 1, int(q * len(samples)))]
+
+    def summary(self) -> Dict[str, Number]:
+        """JSON-ready ``{count, mean_ms, p50_ms, p99_ms, max_ms}``."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self._count
+            total = self._total
+            peak = self._max
+
+        def pick(q: float) -> float:
+            if not samples:
+                return 0.0
+            return samples[min(len(samples) - 1, int(q * len(samples)))]
+
+        return {
+            "count": count,
+            "mean_ms": round(1000.0 * total / count, 3) if count else 0.0,
+            "p50_ms": round(1000.0 * pick(0.50), 3),
+            "p99_ms": round(1000.0 * pick(0.99), 3),
+            "max_ms": round(1000.0 * peak, 3),
+        }
+
+
+def latency_percentiles(
+    seconds: Sequence[float], quantiles: Sequence[float] = (0.50, 0.99)
+) -> Dict[str, float]:
+    """Quantiles of a finished sample set, keyed ``p50_ms``-style.
+
+    The one-shot companion to :class:`LatencyTracker` for callers that
+    already hold every observation (the serve load test, the bench
+    serve phase): same selection rule, no locking.
+    """
+    samples = sorted(float(value) for value in seconds)
+    result: Dict[str, float] = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        if samples:
+            value = samples[min(len(samples) - 1, int(q * len(samples)))]
+        else:
+            value = 0.0
+        label = f"p{q * 100:g}".replace(".", "_")
+        result[f"{label}_ms"] = round(1000.0 * value, 3)
+    return result
 
 
 def kernel_cache_snapshot() -> Dict[str, Dict[str, Number]]:

@@ -67,6 +67,7 @@ _LAZY_EXPORTS = {
     "plan_cache_stats": "plan",
     "clear_plan_cache": "plan",
     "load_kernel_caches": "diskcache",
+    "persistent_kernel_caches": "diskcache",
     "resolve_cache_path": "diskcache",
     "save_kernel_caches": "diskcache",
     "ExactBackend": "backends",
@@ -117,6 +118,7 @@ __all__ = [
     "kernel_counter_totals",
     "last_pool_stats",
     "load_kernel_caches",
+    "persistent_kernel_caches",
     "plan_cache_stats",
     "reset_kernel_counters",
     "resolve_backend_name",

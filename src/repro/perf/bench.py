@@ -28,7 +28,12 @@ This harness times three workloads —
   moderate module, estimated after every edit — once by rescanning the
   netlist from scratch per edit, once through the
   :class:`~repro.incremental.IncrementalEstimator` delta path
-  (``incremental_vs_rebuild`` is the headline ECO speedup).
+  (``incremental_vs_rebuild`` is the headline ECO speedup);
+* **serve load**: a live in-process ``mae serve`` under 50 concurrent
+  sessions (6 in smoke) of mixed estimate / multi-row / ECO-edit
+  traffic from :mod:`repro.service.loadtest` — the record's ``serve``
+  section carries p50/p99 request latency, sustained estimates/sec,
+  the deferred bit-identity tally, and the clean-shutdown flag.
 
 It asserts all paths produce bit-identical estimates, captures
 kernel-cache hit rates, plan-cache and Stirling-triangle statistics,
@@ -84,7 +89,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.suites import table1_suite, table2_suite
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 BENCH_NAME = "batch_engine"
 DEFAULT_OUTPUT = "BENCH_batch_engine.json"
 
@@ -95,6 +100,13 @@ SWEEP_ROW_COUNTS: Tuple[int, ...] = tuple(range(2, 10))
 #: per edit (the acceptance target is >= 3x over rebuild-per-edit).
 ECO_EDIT_COUNT = 50
 ECO_GATES = 400
+
+#: The serve phase: concurrent sessions and sustained-load seconds
+#: (full run / smoke).  50 sessions is the service's acceptance bar.
+SERVE_SESSIONS = 50
+SERVE_SESSIONS_SMOKE = 6
+SERVE_DURATION = 3.0
+SERVE_DURATION_SMOKE = 1.0
 
 
 # ----------------------------------------------------------------------
@@ -592,6 +604,50 @@ def run_bench(
             "numpy": numpy_stats,
         }
 
+    # ---- serve: the live service under concurrent sessions -----------
+    from repro.service.engine import EstimationEngine, ServiceConfig
+    from repro.service.loadtest import run_load
+    from repro.service.server import start_server
+
+    serve_sessions = SERVE_SESSIONS_SMOKE if smoke else SERVE_SESSIONS
+    serve_duration = SERVE_DURATION_SMOKE if smoke else SERVE_DURATION
+    serve_server = start_server(EstimationEngine(ServiceConfig(
+        max_sessions=serve_sessions + 8,
+    )))
+    try:
+        serve_report = run_load(
+            serve_server.base_url, sessions=serve_sessions,
+            duration=serve_duration, seed=11,
+        )
+    finally:
+        serve_server.stop(drain=True)
+    phases.append({
+        "name": "serve_load",
+        "seconds": serve_report["elapsed_s"],
+        "items": max(1, serve_report["estimates"]),
+    })
+    equivalence["serve"] = (
+        not serve_report["errors"]
+        and not serve_report["mismatches"]
+        and serve_report["verified"] > 0
+        and serve_server.stopped
+    )
+    serve_section = {
+        "sessions": serve_report["sessions"],
+        "duration_s": serve_report["duration_s"],
+        "requests": serve_report["requests"],
+        "estimates": serve_report["estimates"],
+        "edits": serve_report["edits"],
+        "rejected": serve_report["rejected"],
+        "errors": len(serve_report["errors"]),
+        "verified": serve_report["verified"],
+        "mismatches": len(serve_report["mismatches"]),
+        "p50_ms": serve_report["latency"]["p50_ms"],
+        "p99_ms": serve_report["latency"]["p99_ms"],
+        "estimates_per_sec": serve_report["estimates_per_sec"],
+        "clean_shutdown": serve_server.stopped,
+    }
+
     timings = {phase["name"]: phase["seconds"] for phase in phases}
     speedups = {
         "table1_batch_jobs1_vs_seed": _ratio(
@@ -669,6 +725,7 @@ def run_bench(
         "warm_start": warm_section,
         "incremental": incremental_section,
         "backend": backend_section,
+        "serve": serve_section,
         "equivalence": equivalence,
     }
 
@@ -799,6 +856,25 @@ def validate_bench_record(record: dict) -> None:
                     "phases ran, so the ratios must be recorded)"
                 )
 
+    serve = _require(record, "serve", dict)
+    for field in ("sessions", "requests", "estimates", "verified"):
+        value = _require(serve, field, int, context="serve")
+        if value < 1:
+            raise BenchmarkError(f"serve.{field} must be >= 1, got {value}")
+    for field in ("edits", "rejected", "errors", "mismatches"):
+        value = _require(serve, field, int, context="serve")
+        if value < 0:
+            raise BenchmarkError(f"serve.{field} must be >= 0, got {value}")
+    for field in ("duration_s", "p50_ms", "p99_ms", "estimates_per_sec"):
+        value = _require(serve, field, (int, float), context="serve")
+        if value < 0:
+            raise BenchmarkError(f"serve.{field} must be >= 0, got {value}")
+    if not _require(serve, "clean_shutdown", bool, context="serve"):
+        raise BenchmarkError(
+            "serve.clean_shutdown is false: the service did not drain "
+            "cleanly during the serve phase"
+        )
+
     equivalence = _require(record, "equivalence", dict)
     if not equivalence:
         raise BenchmarkError("equivalence must be non-empty")
@@ -891,10 +967,17 @@ def format_bench_record(record: dict) -> str:
         )
     else:
         warm_line = "warm start: pool unavailable (serial fallback)"
+    serve = record["serve"]
+    serve_line = (
+        f"serve: {serve['sessions']} sessions, "
+        f"{serve['estimates_per_sec']:.1f} estimates/sec, "
+        f"p50 {serve['p50_ms']:.2f}ms, p99 {serve['p99_ms']:.2f}ms, "
+        f"{serve['verified']} bit-identity samples verified"
+    )
     return (
         f"{table}\nspeedups: {speedups}\n"
         f"kernel-cache hit rates (jobs=1 sweep): {hit_rates}\n"
-        f"{warm_line}"
+        f"{warm_line}\n{serve_line}"
     )
 
 
@@ -934,6 +1017,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "rows-batched sweep (CI guard against "
                              "vectorization regressions; errors when "
                              "NumPy is unavailable)")
+    parser.add_argument("--assert-serve-throughput", type=float,
+                        default=None, metavar="EPS",
+                        help="fail unless the serve phase sustains at "
+                             "least EPS estimates/sec across its "
+                             "concurrent sessions (CI guard against "
+                             "service regressions)")
     parser.add_argument("--kernel-cache", default=None, metavar="FILE",
                         help="load kernel caches from FILE before the run "
                              "and save them back after (also honours "
@@ -941,24 +1030,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.errors import KernelCacheError
-    from repro.perf.diskcache import (
-        load_kernel_caches,
-        resolve_cache_path,
-        save_kernel_caches,
-    )
+    from repro.perf.diskcache import persistent_kernel_caches
 
     try:
-        cache_path = resolve_cache_path(args.kernel_cache)
-        if cache_path is not None:
-            load_kernel_caches(cache_path, missing_ok=True)
-        record = run_bench(jobs=args.jobs, module_count=args.modules,
-                           smoke=args.smoke)
-        path = write_bench_record(record, args.output)
-        # Round-trip through the validator so a malformed file on disk
-        # fails here, not in the next PR's trajectory tooling.
-        load_bench_record(path)
-        if cache_path is not None:
-            save_kernel_caches(cache_path)
+        with persistent_kernel_caches(args.kernel_cache):
+            record = run_bench(jobs=args.jobs, module_count=args.modules,
+                               smoke=args.smoke)
+            path = write_bench_record(record, args.output)
+            # Round-trip through the validator so a malformed file on
+            # disk fails here, not in the next PR's trajectory tooling.
+            load_bench_record(path)
     except (BenchmarkError, KernelCacheError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -1009,6 +1090,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"numpy backend sweep speedup {ratio:.2f}x meets the "
             f"required {args.assert_backend_speedup:.2f}x"
+        )
+    if args.assert_serve_throughput is not None:
+        rate = record["serve"]["estimates_per_sec"]
+        if rate < args.assert_serve_throughput:
+            print(
+                f"error: serve throughput {rate:.1f} estimates/sec is "
+                f"below the required {args.assert_serve_throughput:.1f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serve throughput {rate:.1f} estimates/sec meets the "
+            f"required {args.assert_serve_throughput:.1f}"
         )
     return 0
 

@@ -27,10 +27,11 @@ Design constraints:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.errors import KernelCacheError
 from repro.perf.kernels import (
@@ -121,6 +122,31 @@ def load_kernel_caches(
     staged = _validate(payload, source=str(path))
     # Validation complete: installing cannot fail halfway.
     return install_kernel_caches(staged)
+
+
+@contextlib.contextmanager
+def persistent_kernel_caches(
+    path: Optional[Union[str, Path]] = None,
+) -> Iterator[Optional[Path]]:
+    """Load-on-enter / save-on-success cache lifecycle, as a context.
+
+    The shared lifecycle hook for every long-lived entry point (the
+    ``mae`` CLI, ``mae-bench``, and the service engine's
+    startup/shutdown): resolve the cache file (explicit argument, else
+    ``$MAE_KERNEL_CACHE``, else disabled), warm-start from it if it
+    exists, run the body, and save the caches back **only when the body
+    succeeds** — a crashed run never overwrites a good cache file.
+    Yields the resolved path (``None`` when persistence is disabled).
+    """
+    resolved = resolve_cache_path(
+        str(path) if path is not None else None
+    )
+    if resolved is not None:
+        # missing_ok: the first run creates the file.
+        load_kernel_caches(resolved, missing_ok=True)
+    yield resolved
+    if resolved is not None:
+        save_kernel_caches(resolved)
 
 
 def _validate(payload: object, source: str) -> dict:

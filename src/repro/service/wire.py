@@ -1,0 +1,116 @@
+"""JSON wire format for served estimates and ECO edits.
+
+The service's bit-identity guarantee rests on two properties of
+Python's ``json`` module: floats round-trip exactly (encoding is
+``repr``-based, decoding returns the nearest double — the same double),
+and integers are arbitrary precision.  So an estimate serialized here,
+shipped over HTTP, and decoded with :func:`estimate_from_jsonable` is
+*the same object* field for field — ``dataclasses.astuple`` equality
+holds — which is what the ``serve_equivalence`` verify gate asserts.
+
+Tuples flatten to JSON lists; the decoders restore them recursively so
+decoded results compare equal (``tracks_by_net_size``, ``net_areas``).
+ECO edits reuse the versioned mutation codec of
+:mod:`repro.incremental.mutations` unchanged — the HTTP body of
+``POST /sessions/{id}/edits`` *is* a ``mae eco`` edits file.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.results import FullCustomEstimate, StandardCellEstimate
+from repro.errors import ServiceError
+
+Estimate = Union[StandardCellEstimate, FullCustomEstimate]
+
+
+def estimate_to_jsonable(estimate: Estimate) -> dict:
+    """One estimate as a JSON-ready dict, tagged with its methodology.
+
+    Derived properties (``aspect_ratio``) are included for human
+    readers but ignored on decode — only stored fields round-trip.
+    """
+    if isinstance(estimate, StandardCellEstimate):
+        return {
+            "methodology": "standard-cell",
+            "module_name": estimate.module_name,
+            "rows": estimate.rows,
+            "cell_width_per_row": estimate.cell_width_per_row,
+            "feedthroughs": estimate.feedthroughs,
+            "feedthrough_width": estimate.feedthrough_width,
+            "tracks": estimate.tracks,
+            "tracks_by_net_size": [
+                [size, tracks] for size, tracks in estimate.tracks_by_net_size
+            ],
+            "width": estimate.width,
+            "height": estimate.height,
+            "cell_area": estimate.cell_area,
+            "wiring_area": estimate.wiring_area,
+            "area": estimate.area,
+            "aspect_ratio": estimate.aspect_ratio,
+        }
+    if isinstance(estimate, FullCustomEstimate):
+        return {
+            "methodology": "full-custom",
+            "module_name": estimate.module_name,
+            "device_area_mode": estimate.device_area_mode,
+            "device_area": estimate.device_area,
+            "wire_area": estimate.wire_area,
+            "area": estimate.area,
+            "width": estimate.width,
+            "height": estimate.height,
+            "net_areas": [
+                [name, area] for name, area in estimate.net_areas
+            ],
+            "aspect_ratio": estimate.aspect_ratio,
+        }
+    raise ServiceError(
+        f"cannot serialize estimate of type {type(estimate).__name__}"
+    )
+
+
+def estimate_from_jsonable(payload: object) -> Estimate:
+    """Decode :func:`estimate_to_jsonable` output back into the result
+    dataclass, restoring tuple fields so ``dataclasses.astuple``
+    equality against a direct estimate is meaningful."""
+    if not isinstance(payload, dict):
+        raise ServiceError("estimate payload must be a JSON object")
+    methodology = payload.get("methodology")
+    try:
+        if methodology == "standard-cell":
+            return StandardCellEstimate(
+                module_name=payload["module_name"],
+                rows=payload["rows"],
+                cell_width_per_row=payload["cell_width_per_row"],
+                feedthroughs=payload["feedthroughs"],
+                feedthrough_width=payload["feedthrough_width"],
+                tracks=payload["tracks"],
+                tracks_by_net_size=tuple(
+                    (size, tracks)
+                    for size, tracks in payload["tracks_by_net_size"]
+                ),
+                width=payload["width"],
+                height=payload["height"],
+                cell_area=payload["cell_area"],
+                wiring_area=payload["wiring_area"],
+                area=payload["area"],
+            )
+        if methodology == "full-custom":
+            return FullCustomEstimate(
+                module_name=payload["module_name"],
+                device_area_mode=payload["device_area_mode"],
+                device_area=payload["device_area"],
+                wire_area=payload["wire_area"],
+                area=payload["area"],
+                width=payload["width"],
+                height=payload["height"],
+                net_areas=tuple(
+                    (name, area) for name, area in payload["net_areas"]
+                ),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed estimate payload: {exc}") from exc
+    raise ServiceError(
+        f"unknown estimate methodology {methodology!r}"
+    )

@@ -24,6 +24,7 @@ from repro.verify.checks import (
     check_caches_identity,
     check_disk_roundtrip,
     check_incremental_equivalence,
+    check_serve_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
     check_shared_within_upper_bound,
@@ -76,6 +77,7 @@ __all__ = [
     "check_caches_identity",
     "check_disk_roundtrip",
     "check_incremental_equivalence",
+    "check_serve_equivalence",
     "check_plan_vs_direct",
     "check_row_sweep_sanity",
     "check_shared_within_upper_bound",

@@ -517,6 +517,122 @@ def check_backend_equivalence(
     return CheckResult("backend_equivalence", True)
 
 
+def check_serve_equivalence(
+    module: Module,
+    process: ProcessDatabase,
+    config: Optional[EstimatorConfig] = None,
+    steps: int = 4,
+) -> CheckResult:
+    """Estimates served over live ``mae serve`` HTTP are bit-identical
+    to direct calls.
+
+    Spins an in-process server, ships the module as Verilog source
+    (``POST /sessions`` — so the writer/parser round-trip is under
+    test too), then compares every served estimate — the default-rows
+    estimate, a multi-row request, and a re-estimate after each of
+    ``steps`` seeded ECO edits — against
+    :func:`~repro.core.standard_cell.estimate_standard_cell_from_stats`
+    on a client-side mirror of the session's module.  Served payloads
+    decode through :func:`repro.service.wire.estimate_from_jsonable`;
+    comparison is exact on every field, floats included (JSON floats
+    round-trip exactly).  The edit seed derives from the module, so a
+    failing case replays from its corpus spec.
+    """
+    import json
+    import urllib.request
+
+    from repro.incremental.mutations import mutations_to_jsonable
+    from repro.netlist.writers import write_verilog
+    from repro.service.engine import EstimationEngine, ServiceConfig
+    from repro.service.server import start_server
+    from repro.service.wire import estimate_from_jsonable
+
+    config = config or EstimatorConfig()
+    name = "serve_equivalence"
+    server = start_server(EstimationEngine(ServiceConfig()))
+    # The session must estimate under *this* process instance, which
+    # may not be a builtin tech: register it under a private name.
+    server.processes["verify-process"] = process
+
+    def post(path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            server.base_url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def served_vs_direct(payload: dict, mirror: Module,
+                         case_config: EstimatorConfig, label: str):
+        served = estimate_from_jsonable(payload)
+        direct = estimate_standard_cell_from_stats(
+            _scan(mirror, process, case_config), process, case_config
+        )
+        if _fields(served) != _fields(direct):
+            return CheckResult(
+                name, False, f"{label}: {_mismatch(served, direct)}"
+            )
+        return None
+
+    mirror = module.copy()
+    probe_rows = (2, 3, 5)
+    try:
+        body = post("/sessions", {
+            "source": write_verilog(module),
+            "format": "verilog",
+            "tech": "verify-process",
+            "config": _config_jsonable(config),
+        })
+        session_id = body["session"]
+        failure = served_vs_direct(
+            post(f"/sessions/{session_id}/estimate", {})["estimate"],
+            mirror, config, "initial estimate",
+        )
+        if failure is not None:
+            return failure
+        multi = post(
+            f"/sessions/{session_id}/estimate", {"rows": list(probe_rows)}
+        )["estimates"]
+        for rows, payload in zip(probe_rows, multi):
+            failure = served_vs_direct(
+                payload, mirror, config.with_rows(rows), f"rows={rows}"
+            )
+            if failure is not None:
+                return failure
+        seed = zlib.crc32(module.name.encode("utf-8")) ^ (
+            module.device_count << 1
+        )
+        rng = random.Random(seed)
+        for step in range(steps):
+            mutation = random_mutation(mirror, rng, config.power_nets)
+            body = post(f"/sessions/{session_id}/edits", {
+                "edits": mutations_to_jsonable([mutation]),
+            })
+            mutation.apply(mirror)
+            failure = served_vs_direct(
+                body["estimate"], mirror, config,
+                f"after edit {step} ({mutation.kind})",
+            )
+            if failure is not None:
+                return failure
+    finally:
+        server.stop(drain=True)
+    return CheckResult(name, True)
+
+
+def _config_jsonable(config: EstimatorConfig) -> dict:
+    """An :class:`EstimatorConfig` as the service's ``config`` wire
+    object (the fields ``repro.service.server.CONFIG_FIELDS`` lists)."""
+    from repro.service.server import CONFIG_FIELDS
+
+    payload = {
+        field: getattr(config, field) for field in CONFIG_FIELDS
+    }
+    payload["power_nets"] = list(payload["power_nets"])
+    return payload
+
+
 #: Per-module equivalence checks by methodology, for the runner.
 EQUIVALENCE_CHECKS: Tuple[Tuple[str, str, Callable], ...] = (
     ("plan_vs_direct", "standard-cell", check_plan_vs_direct),
@@ -525,6 +641,7 @@ EQUIVALENCE_CHECKS: Tuple[Tuple[str, str, Callable], ...] = (
     ("incremental_equivalence", "standard-cell",
      check_incremental_equivalence),
     ("backend_equivalence", "standard-cell", check_backend_equivalence),
+    ("serve_equivalence", "standard-cell", check_serve_equivalence),
 )
 
 #: Per-module metamorphic checks (standard-cell only; the full-custom

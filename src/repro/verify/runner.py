@@ -47,6 +47,7 @@ from repro.verify.checks import (
     check_disk_roundtrip,
     check_backend_equivalence,
     check_incremental_equivalence,
+    check_serve_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
     check_shared_within_upper_bound,
@@ -152,6 +153,7 @@ CHECK_STAGES: Dict[str, str] = {
     "trace_identity": "equivalence",
     "incremental_equivalence": "equivalence",
     "backend_equivalence": "equivalence",
+    "serve_equivalence": "equivalence",
     "batch_jobs": "equivalence",
     "disk_roundtrip": "equivalence",
     "shared_within_upper_bound": "metamorphic",
@@ -202,6 +204,8 @@ def _single_check(
         return check_incremental_equivalence(module, process)
     if name == "backend_equivalence":
         return check_backend_equivalence(module, process)
+    if name == "serve_equivalence":
+        return check_serve_equivalence(module, process)
     if name == "shared_within_upper_bound":
         return check_shared_within_upper_bound(module, process)
     if name == "sharing_factor_monotone":

@@ -1,16 +1,22 @@
 """Docs stay in sync with the code.
 
-Two cheap invariants that rot silently otherwise:
+Cheap invariants that rot silently otherwise:
 
 * every module under ``src/repro/`` appears in ``docs/API.md`` (the
   "Module index" section exists exactly so this check is mechanical);
 * every ``mae`` subcommand registered in :func:`repro.cli.build_parser`
-  is mentioned in the README.
+  is mentioned in the README;
+* ``docs/SERVICE.md``'s endpoint list matches the server's ``ROUTES``
+  table exactly — no phantom endpoints, no undocumented ones;
+* every ``--flag`` shown next to a ``mae <subcommand>`` invocation in
+  the README or ``docs/*.md`` exists on that subcommand's argparse
+  parser (or the global parser).
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 from pathlib import Path
 
 from repro.cli import build_parser
@@ -65,3 +71,68 @@ def test_observability_doc_is_cross_linked():
     assert "OBSERVABILITY.md" in (REPO_ROOT / "README.md").read_text()
     assert "OBSERVABILITY.md" in (REPO_ROOT / "DESIGN.md").read_text()
     assert "OBSERVABILITY.md" in (REPO_ROOT / "docs" / "API.md").read_text()
+
+
+def test_service_docs_are_cross_linked():
+    for doc in ("SERVICE.md", "ARCHITECTURE.md"):
+        assert (REPO_ROOT / "docs" / doc).exists()
+        assert doc in (REPO_ROOT / "README.md").read_text()
+        assert doc in (REPO_ROOT / "DESIGN.md").read_text()
+        assert doc in (REPO_ROOT / "docs" / "API.md").read_text()
+
+
+def test_service_md_endpoint_list_matches_routes():
+    """``docs/SERVICE.md`` documents exactly the server's route table.
+
+    Every backtick-quoted ``METHOD /path`` in the doc must be a real
+    route, and every route must be documented at least once.
+    """
+    from repro.service.server import ROUTES
+
+    text = (REPO_ROOT / "docs" / "SERVICE.md").read_text()
+    documented = set(
+        re.findall(r"`(GET|POST|DELETE|PUT|PATCH) (/[^\s`]*)`", text)
+    )
+    routes = {(method, path) for method, path, _summary in ROUTES}
+    assert documented == routes, (
+        f"docs/SERVICE.md endpoints drifted from ROUTES — "
+        f"undocumented: {sorted(routes - documented)}, "
+        f"phantom: {sorted(documented - routes)}"
+    )
+
+
+def _option_strings(parser):
+    strings = set()
+    for action in parser._actions:
+        strings.update(action.option_strings)
+    return strings
+
+
+def test_documented_cli_flags_exist():
+    """Any ``--flag`` on a documented ``mae <subcommand>`` line must be
+    registered on that subcommand's parser (or globally) — catches docs
+    drift when flags are renamed or removed."""
+    parser = build_parser()
+    subparsers = None
+    for action in parser._subparsers._group_actions:
+        if isinstance(action, argparse._SubParsersAction):
+            subparsers = action.choices
+    global_flags = _option_strings(parser)
+    sources = [REPO_ROOT / "README.md"]
+    sources += sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems = []
+    for path in sources:
+        for line in path.read_text().splitlines():
+            match = re.search(r"\bmae\s+([a-z][a-z0-9-]*)", line)
+            if not match or match.group(1) not in subparsers:
+                continue
+            known = global_flags | _option_strings(
+                subparsers[match.group(1)]
+            )
+            for flag in re.findall(r"--[a-z][a-z0-9-]+", line):
+                if flag not in known:
+                    problems.append(
+                        f"{path.name}: 'mae {match.group(1)}' has no "
+                        f"flag {flag}: {line.strip()!r}"
+                    )
+    assert not problems, "\n".join(problems)

@@ -282,6 +282,34 @@ class TestBenchRecord:
         with pytest.raises(BenchmarkError, match="backend"):
             validate_bench_record(broken)
 
+    def test_carries_serve_phase(self, record):
+        """Schema v5: the serve-load phase and section are present, the
+        served estimates stayed bit-identical, and the service shut
+        down cleanly."""
+        phases = {p["name"] for p in record["phases"]}
+        assert "serve_load" in phases
+        serve = record["serve"]
+        assert serve["sessions"] >= 1
+        assert serve["estimates"] >= 1
+        assert serve["verified"] >= 1
+        assert serve["mismatches"] == 0
+        assert serve["errors"] == 0
+        assert serve["estimates_per_sec"] > 0
+        assert serve["p99_ms"] >= serve["p50_ms"] >= 0
+        assert serve["clean_shutdown"] is True
+        assert record["equivalence"]["serve"] is True
+
+    def test_rejects_missing_serve_section(self, record):
+        broken = {k: v for k, v in record.items() if k != "serve"}
+        with pytest.raises(BenchmarkError, match="serve"):
+            validate_bench_record(broken)
+
+    def test_rejects_unclean_serve_shutdown(self, record):
+        broken = {**record, "serve": {**record["serve"],
+                                      "clean_shutdown": False}}
+        with pytest.raises(BenchmarkError, match="clean"):
+            validate_bench_record(broken)
+
     def test_load_rejects_malformed_file(self, tmp_path):
         path = tmp_path / "garbage.json"
         path.write_text("{not json")
