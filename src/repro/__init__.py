@@ -33,6 +33,7 @@ from repro.core.results import (
 )
 from repro.core.standard_cell import estimate_standard_cell
 from repro.errors import (
+    CheckpointError,
     DatabaseError,
     EstimationError,
     FloorplanError,
@@ -81,6 +82,7 @@ from repro.technology import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
     "DatabaseError",
     "Device",
     "DeviceKind",

@@ -19,6 +19,7 @@ Subcommands mirror the deliverables:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -56,6 +57,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; exit
+        # quietly like other Unix filters (stdout is already dead, so
+        # suppress the interpreter's flush-on-exit complaint too).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
     return 0
 
 
@@ -241,7 +249,79 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the serve phase sustains at "
                             "least EPS estimates/sec across its "
                             "concurrent sessions")
+    bench.add_argument("--portfolio-modules", type=int, default=None,
+                       metavar="N",
+                       help="design size for the floorplan portfolio "
+                            "phase (default: 48 in --smoke, 1000 "
+                            "otherwise)")
+    bench.add_argument("--assert-portfolio-speedup", type=float,
+                       default=None, metavar="X",
+                       help="fail unless the portfolio floorplan engine "
+                            "is at least X times the serial loop in "
+                            "modules/sec (CI gate)")
     bench.set_defaults(handler=_cmd_bench)
+
+    floorplan = sub.add_parser(
+        "floorplan",
+        help="race the portfolio optimizer over a multi-module design "
+             "(docs/PERFORMANCE.md)",
+    )
+    floorplan.add_argument(
+        "design",
+        help="an integer N (the seeded N-module hierarchical workload) "
+             "or a Verilog library file",
+    )
+    _add_process_argument(floorplan)
+    _add_jobs_argument(floorplan)
+    floorplan.add_argument(
+        "--portfolio", default=None, metavar="CSV",
+        help="comma-separated searcher subset "
+             "(default: annealing,greedy,mixed)",
+    )
+    floorplan.add_argument(
+        "--serial", action="store_true",
+        help="run the serial rescan-per-query baseline engine instead "
+             "of the compiled portfolio engine (same trajectory, "
+             "bench's before-picture)",
+    )
+    floorplan.add_argument("--steps", type=int, default=None,
+                           help="moves per searcher (default: scaled "
+                                "to the design size)")
+    floorplan.add_argument("--seed", type=int, default=0,
+                           help="trajectory seed (default 0); same "
+                                "seed, same run, bit for bit")
+    floorplan.add_argument("--design-seed", type=int, default=None,
+                           metavar="S",
+                           help="seed for the generated workload "
+                                "(default: --seed)")
+    floorplan.add_argument("--resume", default=None, metavar="FILE",
+                           help="resume from this checkpoint file "
+                                "(validated wholesale before any state "
+                                "is touched)")
+    floorplan.add_argument("--checkpoint", default=None, metavar="FILE",
+                           help="write an atomic checkpoint here every "
+                                "--checkpoint-every steps per searcher")
+    floorplan.add_argument("--checkpoint-every", type=int, default=200,
+                           metavar="N",
+                           help="steps per searcher between checkpoints")
+    floorplan.add_argument("--stop-after", type=int, default=None,
+                           metavar="N",
+                           help="halt every searcher at step N without "
+                                "changing the run's identity (resume "
+                                "continues to --steps bit-identically)")
+    floorplan.add_argument("--row-window", type=int, default=2,
+                           help="row-count search radius per move")
+    floorplan.add_argument("--aspect-target", type=float, default=1.0,
+                           help="design-level target aspect ratio")
+    floorplan.add_argument("--aspect-weight", type=float, default=0.25,
+                           help="aspect-penalty weight in the objective")
+    floorplan.add_argument("--spot-checks", type=int, default=8,
+                           metavar="K",
+                           help="exact-backend recomputations of table "
+                                "entries after the race (0 disables)")
+    floorplan.add_argument("--json", default=None, metavar="FILE",
+                           help="write the full result record as JSON")
+    floorplan.set_defaults(handler=_cmd_floorplan)
 
     serve = sub.add_parser(
         "serve",
@@ -709,10 +789,19 @@ def _cmd_ablation(args) -> None:
 
 def _cmd_bench(args) -> None:
     from repro.errors import BenchmarkError
-    from repro.perf.bench import format_bench_record, run_bench, write_bench_record
+    from repro.perf.bench import (
+        format_bench_record,
+        load_bench_record,
+        run_bench,
+        write_bench_record,
+    )
 
-    record = run_bench(jobs=args.jobs, smoke=args.smoke)
+    record = run_bench(
+        jobs=args.jobs, smoke=args.smoke,
+        portfolio_modules=args.portfolio_modules,
+    )
     path = write_bench_record(record, args.output)
+    record = load_bench_record(path)
     print(format_bench_record(record))
     print(f"trajectory record written to {path}")
     if args.assert_plan_speedup is not None:
@@ -764,6 +853,102 @@ def _cmd_bench(args) -> None:
             f"serve throughput {rate:.1f} estimates/sec meets the "
             f"required {args.assert_serve_throughput:.1f}"
         )
+    if args.assert_portfolio_speedup is not None:
+        ratio = record["speedups"]["floorplan_portfolio_vs_serial"]
+        if ratio < args.assert_portfolio_speedup:
+            raise BenchmarkError(
+                f"floorplan portfolio speedup {ratio:.2f}x is below "
+                f"the required {args.assert_portfolio_speedup:.2f}x"
+            )
+        print(
+            f"floorplan portfolio speedup {ratio:.2f}x meets the "
+            f"required {args.assert_portfolio_speedup:.2f}x"
+        )
+
+
+def _cmd_floorplan(args) -> None:
+    import json as json_module
+
+    from repro.floorplan.portfolio import (
+        SEARCHERS,
+        PortfolioConfig,
+        load_checkpoint,
+        run_portfolio,
+    )
+    from repro.netlist.verilog import parse_verilog_library
+    from repro.workloads.designs import design_from_modules, generate_design
+
+    process = _resolve_process(args)
+    if args.design.isdigit():
+        design_seed = (
+            args.design_seed if args.design_seed is not None else args.seed
+        )
+        design = generate_design(int(args.design), seed=design_seed)
+    else:
+        with open(args.design, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        design = design_from_modules(
+            parse_verilog_library(text, filename=args.design)
+        )
+    searchers = tuple(
+        entry.strip()
+        for entry in (args.portfolio or ",".join(SEARCHERS)).split(",")
+        if entry.strip()
+    )
+    steps = args.steps or max(100, min(2 * design.module_count, 1200))
+    config = PortfolioConfig(
+        steps=steps,
+        seed=args.seed,
+        searchers=searchers,
+        aspect_target=args.aspect_target,
+        aspect_weight=args.aspect_weight,
+        row_window=args.row_window,
+        checkpoint_every=args.checkpoint_every,
+        jobs=args.jobs,
+        spot_checks=args.spot_checks,
+    )
+    resume = load_checkpoint(args.resume) if args.resume else None
+    result = run_portfolio(
+        design,
+        process,
+        config,
+        engine="serial" if args.serial else "portfolio",
+        resume=resume,
+        checkpoint_path=args.checkpoint,
+        stop_after=args.stop_after,
+    )
+
+    print(
+        f"{result.engine} race over {result.module_count} modules of "
+        f"{result.design_name!r}: {result.steps} steps x "
+        f"{len(result.searchers)} searchers in {result.elapsed:.2f}s "
+        f"({result.modules_per_sec:.0f} module-moves/sec)"
+    )
+    for name in sorted(result.searchers):
+        summary = result.searchers[name]
+        marker = " <- winner" if name == result.winner else ""
+        print(
+            f"  {name:10s} best cost {summary['best_cost']:.4g} at step "
+            f"{summary['best_step']}, {summary['accepts']}/"
+            f"{summary['moves']} accepts, {summary['wall_time']:.2f}s"
+            f"{marker}"
+        )
+    chip = result.chip
+    print(
+        f"chip: {chip['width']:.0f} x {chip['height']:.0f} lambda, "
+        f"utilization {chip['utilization']:.0%}, "
+        f"global HPWL {chip['hpwl']:.0f} lambda"
+    )
+    if result.spot_checks:
+        print(f"exact-backend spot checks passed: {result.spot_checks}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_dict(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"result record written to {args.json}")
 
 
 def _cmd_serve(args) -> None:

@@ -45,17 +45,24 @@ def standard_cell_candidates(
     process: ProcessDatabase,
     config: Optional[EstimatorConfig] = None,
     count: int = 5,
+    stats=None,
 ) -> List[StandardCellEstimate]:
     """Up to ``count`` standard-cell implementations at different row
-    counts, centred on the Section 5 initial choice."""
+    counts, centred on the Section 5 initial choice.
+
+    ``stats`` injects a pre-computed scan (the C2 loop and the
+    portfolio optimizer hold one per module); when omitted the module
+    is scanned here.  Either way the ranking itself always goes
+    through the shared plan cache."""
     config = config or EstimatorConfig()
-    stats = scan_module(
-        module,
-        device_width=process.device_width,
-        device_height=process.device_height,
-        port_width=config.port_pitch_override or process.port_pitch,
-        power_nets=config.power_nets,
-    )
+    if stats is None:
+        stats = scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=config.port_pitch_override or process.port_pitch,
+            power_nets=config.power_nets,
+        )
     return standard_cell_candidates_from_stats(stats, process, config, count)
 
 
@@ -92,25 +99,28 @@ def full_custom_candidates(
     process: ProcessDatabase,
     config: Optional[EstimatorConfig] = None,
     aspects: Sequence[float] = DEFAULT_FULL_CUSTOM_ASPECTS,
+    stats=None,
 ) -> List[FullCustomEstimate]:
     """Full-custom implementations of the estimated area at several
     aspect ratios.
 
     Candidates violating the port criterion (all ports along one of
     the longer edges) are dropped; the port-stretched shape is always
-    included, so at least one candidate survives.
+    included, so at least one candidate survives.  ``stats`` injects a
+    pre-computed scan shared with the caller's other estimates.
     """
     if not aspects:
         raise EstimationError("at least one aspect ratio is required")
     config = config or EstimatorConfig()
-    base = estimate_full_custom(module, process, config)
-    stats = scan_module(
-        module,
-        device_width=process.device_width,
-        device_height=process.device_height,
-        port_width=config.port_pitch_override or process.port_pitch,
-        power_nets=config.power_nets,
-    )
+    if stats is None:
+        stats = scan_module(
+            module,
+            device_width=process.device_width,
+            device_height=process.device_height,
+            port_width=config.port_pitch_override or process.port_pitch,
+            power_nets=config.power_nets,
+        )
+    base = estimate_full_custom(module, process, config, stats=stats)
     port_length = stats.total_port_width
 
     candidates: List[FullCustomEstimate] = []
@@ -143,13 +153,28 @@ def candidate_shapes(
     count: int = 5,
 ) -> List[Tuple[str, float, float]]:
     """All candidate (label, width, height) triples for a module —
-    both methodologies, ready to feed a floorplanner's shape list."""
+    both methodologies, ready to feed a floorplanner's shape list.
+
+    The module is scanned exactly once; both rankings share the scan
+    (and the standard-cell side the cached plan)."""
+    config = config or EstimatorConfig()
+    stats = scan_module(
+        module,
+        device_width=process.device_width,
+        device_height=process.device_height,
+        port_width=config.port_pitch_override or process.port_pitch,
+        power_nets=config.power_nets,
+    )
     shapes: List[Tuple[str, float, float]] = []
-    for estimate in standard_cell_candidates(module, process, config, count):
+    for estimate in standard_cell_candidates(
+        module, process, config, count, stats=stats
+    ):
         shapes.append(
             (f"sc-{estimate.rows}rows", estimate.width, estimate.height)
         )
-    for estimate in full_custom_candidates(module, process, config):
+    for estimate in full_custom_candidates(
+        module, process, config, stats=stats
+    ):
         shapes.append(
             (
                 f"fc-{estimate.width / estimate.height:.2f}",

@@ -80,6 +80,15 @@ class KernelCacheError(ReproError):
     """An on-disk kernel-cache file is malformed, stale, or unreadable."""
 
 
+class CheckpointError(ReproError):
+    """A portfolio-optimizer resume file is malformed, truncated, from
+    an unsupported schema version, or was written for a different
+    design or configuration.  Raised after validating the *whole* file
+    and before any optimizer state is touched (the
+    :class:`KernelCacheError` pattern for on-disk state), so a failed
+    resume never corrupts a live run."""
+
+
 class ObservabilityError(ReproError):
     """A trace file or explain report is malformed or inconsistent."""
 

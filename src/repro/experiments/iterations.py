@@ -27,7 +27,7 @@ from repro.layout.annealing import AnnealingSchedule, timberwolf_1988_schedule
 from repro.layout.standard_cell_flow import layout_standard_cell
 from repro.netlist.model import Module
 from repro.netlist.stats import scan_module
-from repro.perf.plan import EstimationPlan, compile_plan
+from repro.perf.plan import EstimationPlan, get_plan
 from repro.reporting import render_table
 from repro.technology.libraries import nmos_process
 from repro.technology.process import ProcessDatabase
@@ -141,7 +141,10 @@ def run_iteration_experiment(
             port_width=config.port_pitch_override or process.port_pitch,
             power_nets=config.power_nets,
         )
-        plans[name] = compile_plan(stats, process, config)
+        # get_plan, not compile_plan: the loop's plans join the shared
+        # cache, so a later candidate ranking (or portfolio run) over
+        # the same modules reuses them instead of recompiling.
+        plans[name] = get_plan(stats, process, config)
         estimate = plans[name].evaluate(config.rows)
         cell_areas[name] = estimate.cell_area
         layout = layout_standard_cell(

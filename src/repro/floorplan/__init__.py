@@ -13,10 +13,19 @@ package provides that consumer:
 * :mod:`repro.floorplan.iteration` — the floor-planning *iteration
   loop*, reproducing the paper's second contribution: better initial
   estimates mean fewer estimate -> plan -> layout -> re-plan cycles.
+* :mod:`repro.floorplan.portfolio` — the scaled-up loop: a
+  deterministic, resumable portfolio of searchers racing over
+  thousands of modules through the compiled-estimate hot path.
 """
 
 from repro.floorplan.floorplanner import Floorplan, FloorplanModule, floorplan
 from repro.floorplan.iteration import IterationOutcome, run_iteration_loop
+from repro.floorplan.portfolio import (
+    PortfolioConfig,
+    PortfolioResult,
+    load_checkpoint,
+    run_portfolio,
+)
 from repro.floorplan.shapes import Shape, ShapeList
 from repro.floorplan.slicing import PolishExpression, evaluate_expression
 
@@ -25,9 +34,13 @@ __all__ = [
     "FloorplanModule",
     "IterationOutcome",
     "PolishExpression",
+    "PortfolioConfig",
+    "PortfolioResult",
     "Shape",
     "ShapeList",
     "evaluate_expression",
     "floorplan",
+    "load_checkpoint",
     "run_iteration_loop",
+    "run_portfolio",
 ]

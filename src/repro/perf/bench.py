@@ -89,9 +89,15 @@ from repro.workloads.generators import (
 )
 from repro.workloads.suites import table1_suite, table2_suite
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 BENCH_NAME = "batch_engine"
 DEFAULT_OUTPUT = "BENCH_batch_engine.json"
+
+#: Floorplan-race phase: design size (smoke / full) and the per-design
+#: step budget.  The acceptance gate is >= 3x modules/sec for the
+#: portfolio engine over the serial rescan loop at 1000 modules.
+PORTFOLIO_MODULES = 1000
+PORTFOLIO_MODULES_SMOKE = 48
 
 #: Row counts for the synthetic sweep: 8 counts, the Table 2 ballpark.
 SWEEP_ROW_COUNTS: Tuple[int, ...] = tuple(range(2, 10))
@@ -199,12 +205,26 @@ def run_bench(
     row_counts: Sequence[int] = SWEEP_ROW_COUNTS,
     process: Optional[ProcessDatabase] = None,
     smoke: bool = False,
+    portfolio_modules: Optional[int] = None,
 ) -> dict:
     """Run every phase and return the trajectory record (a JSON-ready
-    dict; see :func:`validate_bench_record` for the schema)."""
+    dict; see :func:`validate_bench_record` for the schema).
+
+    ``portfolio_modules`` sizes the floorplan-race design (default:
+    48 under ``smoke``, 1000 otherwise — CI's smoke gate passes 1000
+    explicitly so the committed speedup claim is always measured at
+    the acceptance scale)."""
     if smoke:
         module_count = min(module_count, 8)
         row_counts = tuple(row_counts)[:3]
+    if portfolio_modules is None:
+        portfolio_modules = (
+            PORTFOLIO_MODULES_SMOKE if smoke else PORTFOLIO_MODULES
+        )
+    if portfolio_modules < 2:
+        raise BenchmarkError(
+            f"portfolio module count must be >= 2, got {portfolio_modules}"
+        )
     row_counts = tuple(row_counts)
     process = process or nmos_process()
     phases: List[dict] = []
@@ -648,6 +668,84 @@ def run_bench(
         "clean_shutdown": serve_server.stopped,
     }
 
+    # ---- floorplan race: portfolio engine vs the serial loop ---------
+    # Identical trajectories by construction (same seed, same searcher
+    # code; only the estimate server differs), so the ratio isolates
+    # what the compiled hot path buys: batch-prefilled plans plus
+    # incremental windows versus one fresh scan-and-estimate per query.
+    # A mid-run checkpoint is resumed to completion and must replay the
+    # winning trajectory bit-identically.
+    import tempfile
+
+    from repro.floorplan.portfolio import (
+        PortfolioConfig,
+        load_checkpoint,
+        run_portfolio,
+    )
+    from repro.workloads.designs import generate_design
+
+    fp_design = generate_design(portfolio_modules, seed=23,
+                                name="bench_chip")
+    fp_steps = max(60, min(2 * portfolio_modules, 1200))
+    fp_config = PortfolioConfig(
+        steps=fp_steps, seed=29, jobs=jobs,
+        checkpoint_every=max(1, fp_steps // 2),
+        spot_checks=4,
+    )
+    fp_moves = fp_steps * len(fp_config.searchers)
+
+    def floorplan_race(engine: str):
+        def run():
+            clear_kernel_caches()
+            clear_plan_cache()
+            return run_portfolio(
+                fp_design, process, fp_config, engine=engine,
+            )
+        return run
+
+    fp_serial = timed("floorplan_serial", fp_moves,
+                      floorplan_race("serial"))
+    fp_portfolio = timed("floorplan_portfolio", fp_moves,
+                         floorplan_race("portfolio"))
+    equivalence["floorplan_portfolio"] = (
+        fp_serial.trajectory_hashes == fp_portfolio.trajectory_hashes
+        and fp_serial.winner == fp_portfolio.winner
+        and fp_serial.best_cost == fp_portfolio.best_cost
+    )
+    with tempfile.TemporaryDirectory() as fp_dir:
+        fp_ckpt = os.path.join(fp_dir, "floorplan.ckpt.json")
+        run_portfolio(
+            fp_design, process, fp_config,
+            checkpoint_path=fp_ckpt, stop_after=fp_steps // 2,
+        )
+        fp_resumed = run_portfolio(
+            fp_design, process, fp_config,
+            resume=load_checkpoint(fp_ckpt),
+        )
+    equivalence["floorplan_resume"] = (
+        fp_resumed.trajectory_hashes == fp_portfolio.trajectory_hashes
+        and fp_resumed.winner == fp_portfolio.winner
+        and fp_resumed.best_rows == fp_portfolio.best_rows
+    )
+    floorplan_section = {
+        "modules": portfolio_modules,
+        "steps": fp_steps,
+        "searchers": list(fp_config.searchers),
+        "winner": fp_portfolio.winner,
+        "spot_checks": fp_portfolio.spot_checks,
+        "serial": {
+            "seconds": fp_serial.elapsed,
+            "modules_per_sec": fp_serial.modules_per_sec,
+            "evaluations": fp_serial.evaluations,
+        },
+        "portfolio": {
+            "seconds": fp_portfolio.elapsed,
+            "modules_per_sec": fp_portfolio.modules_per_sec,
+            "evaluations": fp_portfolio.evaluations,
+            "table_hits": fp_portfolio.table_hits,
+        },
+    }
+
     timings = {phase["name"]: phase["seconds"] for phase in phases}
     speedups = {
         "table1_batch_jobs1_vs_seed": _ratio(
@@ -697,6 +795,12 @@ def run_bench(
         speedups["backend_numpy_vs_exact_eco"] = _ratio(
             timings["backend_exact_eco"], timings["backend_numpy_eco"]
         )
+    # The headline floorplan number: the whole race, end to end, in
+    # modules/sec — equal move counts, so the wall-time ratio is the
+    # throughput ratio.
+    speedups["floorplan_portfolio_vs_serial"] = _ratio(
+        timings["floorplan_serial"], timings["floorplan_portfolio"]
+    )
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -726,6 +830,7 @@ def run_bench(
         "incremental": incremental_section,
         "backend": backend_section,
         "serve": serve_section,
+        "floorplan": floorplan_section,
         "equivalence": equivalence,
     }
 
@@ -856,6 +961,50 @@ def validate_bench_record(record: dict) -> None:
                     "phases ran, so the ratios must be recorded)"
                 )
 
+    floorplan = _require(record, "floorplan", dict)
+    for field in ("modules", "steps"):
+        value = _require(floorplan, field, int, context="floorplan")
+        if value < 1:
+            raise BenchmarkError(
+                f"floorplan.{field} must be >= 1, got {value}"
+            )
+    _require(floorplan, "searchers", list, context="floorplan")
+    _require(floorplan, "winner", str, context="floorplan")
+    for engine in ("serial", "portfolio"):
+        section = _require(floorplan, engine, dict, context="floorplan")
+        for field in ("seconds", "modules_per_sec"):
+            value = _require(section, field, (int, float),
+                             context=f"floorplan[{engine}]")
+            if value < 0:
+                raise BenchmarkError(
+                    f"floorplan[{engine}].{field} must be >= 0, "
+                    f"got {value}"
+                )
+        evaluations = _require(section, "evaluations", int,
+                               context=f"floorplan[{engine}]")
+        if evaluations < 1:
+            raise BenchmarkError(
+                f"floorplan[{engine}].evaluations must be >= 1, "
+                f"got {evaluations}"
+            )
+    if "floorplan_portfolio_vs_serial" not in speedups:
+        raise BenchmarkError(
+            "speedups is missing the 'floorplan_portfolio_vs_serial' ratio"
+        )
+
+    if "history" in record:
+        history = _require(record, "history", list)
+        for entry in history:
+            if not isinstance(entry, dict):
+                raise BenchmarkError(
+                    f"history entries must be objects (prior trajectory "
+                    f"records), got {type(entry).__name__}"
+                )
+            if "history" in entry:
+                raise BenchmarkError(
+                    "history entries must not nest their own history"
+                )
+
     serve = _require(record, "serve", dict)
     for field in ("sessions", "requests", "estimates", "verified"):
         value = _require(serve, field, int, context="serve")
@@ -908,9 +1057,39 @@ def _require(record: dict, key: str, types, context: str = "record"):
 
 
 def write_bench_record(record: dict, path: Union[str, Path, None] = None) -> Path:
-    """Validate and write the record; returns the destination path."""
+    """Validate and write the record; returns the destination path.
+
+    A record already at the destination is not discarded: it is folded
+    (with its own history) into the new record's ``history`` list,
+    oldest first, so the committed file carries the machine-readable
+    perf trajectory across PRs.  A corrupt prior file fails the write
+    loudly rather than silently dropping the trajectory.
+    """
     validate_bench_record(record)
     path = Path(path) if path else Path(DEFAULT_OUTPUT)
+    record = dict(record)
+    history = list(record.get("history", []))
+    if path.exists():
+        try:
+            prior = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchmarkError(
+                f"existing bench record {path} is unreadable; refusing to "
+                f"drop the perf trajectory: {exc}"
+            ) from exc
+        if not isinstance(prior, dict):
+            raise BenchmarkError(
+                f"existing bench record {path} is not a JSON object; "
+                "refusing to drop the perf trajectory"
+            )
+        prior_history = prior.pop("history", [])
+        if not isinstance(prior_history, list):
+            raise BenchmarkError(
+                f"existing bench record {path} has a malformed history"
+            )
+        history = prior_history + [prior] + history
+    record["history"] = history
+    validate_bench_record(record)
     try:
         path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     except OSError as exc:
@@ -974,10 +1153,21 @@ def format_bench_record(record: dict) -> str:
         f"p50 {serve['p50_ms']:.2f}ms, p99 {serve['p99_ms']:.2f}ms, "
         f"{serve['verified']} bit-identity samples verified"
     )
+    fp = record["floorplan"]
+    floorplan_line = (
+        f"floorplan: {fp['modules']} modules x {fp['steps']} steps, "
+        f"serial {fp['serial']['modules_per_sec']:.0f} -> portfolio "
+        f"{fp['portfolio']['modules_per_sec']:.0f} module-moves/sec, "
+        f"winner {fp['winner']}"
+    )
+    history_line = (
+        f"history: {len(record.get('history', []))} prior trajectory "
+        f"record(s) carried"
+    )
     return (
         f"{table}\nspeedups: {speedups}\n"
         f"kernel-cache hit rates (jobs=1 sweep): {hit_rates}\n"
-        f"{warm_line}\n{serve_line}"
+        f"{warm_line}\n{serve_line}\n{floorplan_line}\n{history_line}"
     )
 
 
@@ -1023,6 +1213,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "least EPS estimates/sec across its "
                              "concurrent sessions (CI guard against "
                              "service regressions)")
+    parser.add_argument("--portfolio-modules", type=int, default=None,
+                        metavar="N",
+                        help="design size for the floorplan-race phase "
+                             f"(default: {PORTFOLIO_MODULES_SMOKE} in "
+                             f"--smoke, {PORTFOLIO_MODULES} otherwise)")
+    parser.add_argument("--assert-portfolio-speedup", type=float,
+                        default=None, metavar="X",
+                        help="fail unless the portfolio floorplan engine "
+                             "is at least X times the serial loop in "
+                             "modules/sec (CI guard against hot-path "
+                             "regressions)")
     parser.add_argument("--kernel-cache", default=None, metavar="FILE",
                         help="load kernel caches from FILE before the run "
                              "and save them back after (also honours "
@@ -1035,11 +1236,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         with persistent_kernel_caches(args.kernel_cache):
             record = run_bench(jobs=args.jobs, module_count=args.modules,
-                               smoke=args.smoke)
+                               smoke=args.smoke,
+                               portfolio_modules=args.portfolio_modules)
             path = write_bench_record(record, args.output)
             # Round-trip through the validator so a malformed file on
-            # disk fails here, not in the next PR's trajectory tooling.
-            load_bench_record(path)
+            # disk fails here, not in the next PR's trajectory tooling
+            # (and so the summary below reports the written history).
+            record = load_bench_record(path)
     except (BenchmarkError, KernelCacheError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -1103,6 +1306,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"serve throughput {rate:.1f} estimates/sec meets the "
             f"required {args.assert_serve_throughput:.1f}"
+        )
+    if args.assert_portfolio_speedup is not None:
+        ratio = record["speedups"]["floorplan_portfolio_vs_serial"]
+        if ratio < args.assert_portfolio_speedup:
+            print(
+                f"error: floorplan portfolio speedup {ratio:.2f}x is "
+                f"below the required {args.assert_portfolio_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"floorplan portfolio speedup {ratio:.2f}x meets the "
+            f"required {args.assert_portfolio_speedup:.2f}x"
         )
     return 0
 

@@ -621,6 +621,79 @@ def check_serve_equivalence(
     return CheckResult(name, True)
 
 
+def check_portfolio_determinism(
+    spec,
+    process: ProcessDatabase,
+    steps: int = 40,
+) -> CheckResult:
+    """The portfolio optimizer is a pure function of (design, config).
+
+    Spec-level (it needs the hierarchical *design*, not the flattened
+    module): rebuilds the ``hier`` case's design from its recipe and
+    asserts three identities over a short race — a same-seed rerun
+    replays bit-identically, a resume from a mid-run checkpoint
+    continues the identical trajectory to the identical winner, and
+    the serial rescan engine walks the same path as the compiled hot
+    path (trajectory hashes, winner, best cost, and best row
+    assignment all compared exactly).
+    """
+    from repro.floorplan.portfolio import (
+        PortfolioConfig,
+        load_checkpoint,
+        run_portfolio,
+    )
+    from repro.workloads.designs import generate_design
+
+    name = "portfolio_determinism"
+    design = generate_design(
+        int(spec.param("modules")), seed=spec.seed, name=spec.label
+    )
+    config = PortfolioConfig(
+        steps=steps, seed=spec.seed,
+        checkpoint_every=max(1, steps // 2), spot_checks=2,
+    )
+
+    def signature(result):
+        return (
+            result.trajectory_hashes,
+            result.winner,
+            result.best_cost,
+            result.best_rows,
+        )
+
+    first = run_portfolio(design, process, config)
+    second = run_portfolio(design, process, config)
+    if signature(first) != signature(second):
+        return CheckResult(
+            name, False,
+            "same-seed reruns diverge: "
+            f"{first.trajectory_hashes} != {second.trajectory_hashes}",
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "resume.json")
+        run_portfolio(
+            design, process, config,
+            checkpoint_path=ckpt, stop_after=max(1, steps // 2),
+        )
+        resumed = run_portfolio(
+            design, process, config, resume=load_checkpoint(ckpt)
+        )
+    if signature(resumed) != signature(first):
+        return CheckResult(
+            name, False,
+            "resume-from-checkpoint diverges from the one-shot run: "
+            f"{resumed.trajectory_hashes} != {first.trajectory_hashes}",
+        )
+    serial = run_portfolio(design, process, config, engine="serial")
+    if signature(serial) != signature(first):
+        return CheckResult(
+            name, False,
+            "serial and portfolio engines walk different trajectories: "
+            f"{serial.trajectory_hashes} != {first.trajectory_hashes}",
+        )
+    return CheckResult(name, True)
+
+
 def _config_jsonable(config: EstimatorConfig) -> dict:
     """An :class:`EstimatorConfig` as the service's ``config`` wire
     object (the fields ``repro.service.server.CONFIG_FIELDS`` lists)."""

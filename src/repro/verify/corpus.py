@@ -165,6 +165,20 @@ def _build_decoder_nmos(spec: CaseSpec) -> Module:
     return expand_to_transistors(gate_level, name=spec.label)
 
 
+def _build_hier(spec: CaseSpec) -> Module:
+    """The portfolio workload: a seeded hierarchical multi-module chip,
+    flattened through the instantiation hierarchy into one gate-level
+    module.  The single-module invariant checks run on the flattened
+    chip; the ``portfolio_determinism`` gate rebuilds the *design* from
+    the same spec and races the optimizer over it."""
+    from repro.workloads.designs import generate_design
+
+    design = generate_design(
+        int(spec.param("modules")), seed=spec.seed, name=spec.label
+    )
+    return design.flatten()
+
+
 _FAMILIES: Dict[str, _Family] = {}
 
 
@@ -228,6 +242,10 @@ _register(_Family(
         spec.label, int(spec.param("words")), int(spec.param("bits"))
     ),
     lambda rng: {"words": rng.randrange(2, 5), "bits": rng.randrange(2, 5)},
+))
+_register(_Family(
+    "hier", "standard-cell", _build_hier,
+    lambda rng: {"modules": rng.randrange(4, 8)},
 ))
 
 # Full-custom families --------------------------------------------------

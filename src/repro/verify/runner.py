@@ -47,6 +47,7 @@ from repro.verify.checks import (
     check_disk_roundtrip,
     check_backend_equivalence,
     check_incremental_equivalence,
+    check_portfolio_determinism,
     check_serve_equivalence,
     check_plan_vs_direct,
     check_row_sweep_sanity,
@@ -156,6 +157,7 @@ CHECK_STAGES: Dict[str, str] = {
     "serve_equivalence": "equivalence",
     "batch_jobs": "equivalence",
     "disk_roundtrip": "equivalence",
+    "portfolio_determinism": "equivalence",
     "shared_within_upper_bound": "metamorphic",
     "sharing_factor_monotone": "metamorphic",
     "spread_mode_agreement": "metamorphic",
@@ -290,6 +292,17 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
             note(sc_cases[0][0], sc_cases[0][1],
                  check_disk_roundtrip(sc_cases[0][1], process),
                  _predicate("disk_roundtrip", process, "standard-cell"))
+        # Design-level: every hierarchical case races the portfolio
+        # optimizer and must replay bit-identically (same seed, resume
+        # from checkpoint, and the serial reference engine).  The check
+        # relates a whole design, not one module, so record unshrunk.
+        if options.wants("portfolio_determinism"):
+            process = processes["standard-cell"]
+            for spec, module in built:
+                if spec.family != "hier":
+                    continue
+                note(spec, module,
+                     check_portfolio_determinism(spec, process), None)
         if tracer.enabled:
             span.set("checks", sum(
                 counts["passed"] + counts["failed"]
@@ -458,6 +471,8 @@ def replay_records(
                 "envelope", point.within,
                 f"relative error {point.error:+.3f}",
             )
+        elif record.check == "portfolio_determinism":
+            result = check_portfolio_determinism(record.spec, process)
         elif record.check == "area_monotone_in_devices":
             grown = _grown_spec(record.spec)
             if grown is None:

@@ -12,8 +12,16 @@ scale:
 * :mod:`repro.workloads.suites` — the fixed T1 (five full-custom
   modules) and T2 (two standard-cell modules) suites the benchmark
   harness runs.
+* :mod:`repro.workloads.designs` — seeded hierarchical multi-module
+  chips (10^1..10^4 leaves) for the portfolio floorplanner and the
+  ``hier`` verification corpus family.
 """
 
+from repro.workloads.designs import (
+    HierarchicalDesign,
+    design_from_modules,
+    generate_design,
+)
 from repro.workloads.generators import (
     adder_module,
     alu_slice_module,
@@ -35,12 +43,15 @@ from repro.workloads.suites import (
 )
 
 __all__ = [
+    "HierarchicalDesign",
     "Table1Case",
     "Table2Case",
     "adder_module",
     "alu_slice_module",
     "counter_module",
     "decoder_module",
+    "design_from_modules",
+    "generate_design",
     "lfsr_module",
     "expand_to_transistors",
     "expand_to_transistors_cmos",

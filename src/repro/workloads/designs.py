@@ -1,0 +1,368 @@
+"""Seeded hierarchical multi-module designs (the portfolio workload).
+
+The paper's C2 flow floorplans a *chip*: "the chip is partitioned into
+large modules which are laid out independently".  The single-module
+generators in :mod:`repro.workloads.generators` cover the leaf level;
+this module composes them into whole chips of 10^1..10^4 leaf modules
+with a genuine two-level hierarchy, which is what
+:mod:`repro.floorplan.portfolio` races its searchers over and what the
+``hier`` verification corpus family flattens.
+
+A generated design is fully deterministic in ``(module_count, seed)``:
+
+* **leaves** — one gate-level module per index, cycling the eight
+  generator families with per-leaf derived seeds, so a prefix of the
+  design is stable as the module count grows;
+* **blocks** — leaves grouped into ``~sqrt(module_count)`` block
+  modules; inside a block, consecutive leaves are chained output ->
+  input and every leaf's second input hangs off a block-wide broadcast
+  net (the clock-like high-fanout case);
+* **top** — blocks chained the same way, with the broadcast nets of
+  every block tied to one chip-wide net.
+
+The resulting library flattens through
+:func:`repro.netlist.hierarchy.flatten` into one valid gate-level
+module, and :attr:`HierarchicalDesign.global_nets` carries the
+leaf-level interconnections (the Fig. 1 "global interconnections for
+the whole chip") the floorplanner's wirelength report consumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.hierarchy import build_library, flatten, inter_module_nets
+from repro.netlist.model import Device, Module, Port, PortDirection
+from repro.workloads.generators import (
+    adder_module,
+    alu_slice_module,
+    counter_module,
+    decoder_module,
+    lfsr_module,
+    mux_tree_module,
+    random_gate_module,
+    register_file_module,
+)
+
+#: Identity keys a generated design's spec carries (checkpoint files
+#: embed the spec so a resume against the wrong design fails loudly).
+GENERATED_SPEC_KIND = "generated"
+FILE_SPEC_KIND = "library"
+
+
+@dataclass(frozen=True)
+class HierarchicalDesign:
+    """A chip as the floorplanner sees it: leaf modules plus hierarchy.
+
+    ``leaves`` are the floorplan units (every one a flat gate-level
+    module); ``blocks``/``top`` carry the instantiation hierarchy when
+    one exists; ``global_nets`` lists (net name, leaf module names)
+    pairs for nets spanning two or more leaves; ``spec`` is the
+    JSON-able identity record checkpoints embed.
+    """
+
+    name: str
+    leaves: Tuple[Module, ...]
+    blocks: Tuple[Module, ...]
+    top: Optional[Module]
+    global_nets: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    spec: Tuple[Tuple[str, object], ...]
+
+    @property
+    def module_count(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def spec_dict(self) -> Dict[str, object]:
+        return dict(self.spec)
+
+    def module(self, name: str) -> Module:
+        for leaf in self.leaves:
+            if leaf.name == name:
+                return leaf
+        raise NetlistError(f"design {self.name!r} has no leaf {name!r}")
+
+    def library(self) -> Dict[str, Module]:
+        modules: Tuple[Module, ...] = self.leaves + self.blocks
+        if self.top is not None:
+            modules = modules + (self.top,)
+        return build_library(modules)
+
+    def flatten(self, separator: str = "_") -> Module:
+        """Elaborate the whole chip into one flat gate-level module.
+
+        The default separator is ``_`` rather than the usual ``/`` so
+        flattened instance paths stay valid Verilog identifiers — the
+        verification corpus round-trips flattened chips through
+        ``write_verilog`` and the estimation service.
+        """
+        if self.top is None:
+            raise NetlistError(
+                f"design {self.name!r} has no top module to flatten"
+            )
+        return flatten(self.library(), self.top.name, separator=separator)
+
+
+def generate_design(
+    module_count: int,
+    seed: int = 0,
+    name: str = "chip",
+) -> HierarchicalDesign:
+    """A deterministic hierarchical design with ``module_count`` leaves.
+
+    Same ``(module_count, seed)``, same design, bit for bit — the
+    portfolio optimizer's checkpoints and the ``hier`` corpus family
+    both rely on this.
+    """
+    if module_count < 2:
+        raise NetlistError(
+            f"module count must be >= 2, got {module_count}"
+        )
+    leaves = tuple(
+        _leaf(name, index, seed) for index in range(module_count)
+    )
+    block_size = max(2, int(round(math.sqrt(module_count))))
+    groups = [
+        leaves[start:start + block_size]
+        for start in range(0, module_count, block_size)
+    ]
+    if len(groups) > 1 and len(groups[-1]) == 1:
+        # A one-leaf trailing block cannot chain; fold it into its
+        # neighbour so every block has at least two leaves.
+        groups[-2] = groups[-2] + groups[-1]
+        del groups[-1]
+
+    blocks: List[Module] = []
+    global_nets: List[Tuple[str, Tuple[str, ...]]] = []
+    for block_index, group in enumerate(groups):
+        block, nets = _build_block(f"{name}_b{block_index:04d}", group)
+        blocks.append(block)
+        global_nets.extend(nets)
+
+    top, top_nets = _build_top(name, blocks, groups)
+    global_nets.extend(top_nets)
+
+    spec = (
+        ("kind", GENERATED_SPEC_KIND),
+        ("modules", module_count),
+        ("name", name),
+        ("seed", seed),
+    )
+    return HierarchicalDesign(
+        name=name,
+        leaves=leaves,
+        blocks=tuple(blocks),
+        top=top,
+        global_nets=tuple(global_nets),
+        spec=spec,
+    )
+
+
+def design_from_modules(
+    modules: Sequence[Module],
+    name: Optional[str] = None,
+    spec: Optional[Mapping[str, object]] = None,
+) -> HierarchicalDesign:
+    """Wrap an existing module library as a design.
+
+    Modules that instantiate other library modules form the hierarchy
+    (their nets become global interconnections); every other module is
+    a floorplan leaf.  A flat library — no instantiations — is simply a
+    design with no hierarchy and no global nets.
+    """
+    if not modules:
+        raise NetlistError("a design needs at least one module")
+    library = build_library(modules)
+    parents = tuple(
+        module for module in modules
+        if any(device.cell in library for device in module.devices)
+    )
+    parent_names = {module.name for module in parents}
+    leaves = tuple(
+        module for module in modules if module.name not in parent_names
+    )
+    if not leaves:
+        raise NetlistError(
+            "design has no leaf modules (every module instantiates "
+            "another)"
+        )
+    leaf_names = {module.name for module in leaves}
+    global_nets: List[Tuple[str, Tuple[str, ...]]] = []
+    for parent in parents:
+        cell_of = {
+            device.name: device.cell for device in parent.devices
+        }
+        for net, instances in inter_module_nets(library, parent.name):
+            touched = tuple(sorted({
+                cell_of[instance] for instance in instances
+                if cell_of.get(instance) in leaf_names
+            }))
+            if len(touched) >= 2:
+                global_nets.append((f"{parent.name}/{net}", touched))
+    top = _infer_file_top(parents, library)
+    resolved = name or (top.name if top is not None else leaves[0].name)
+    spec_pairs = tuple(sorted((spec or {
+        "kind": FILE_SPEC_KIND,
+        "modules": len(leaves),
+        "name": resolved,
+    }).items()))
+    return HierarchicalDesign(
+        name=resolved,
+        leaves=leaves,
+        blocks=tuple(
+            module for module in parents if top is None
+            or module.name != top.name
+        ),
+        top=top,
+        global_nets=tuple(global_nets),
+        spec=spec_pairs,
+    )
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _leaf(name: str, index: int, seed: int) -> Module:
+    """Leaf ``index``: family cycles, sizes drawn from a per-leaf rng
+    (derived from ``(seed, index)``, so leaves are independent of the
+    total module count)."""
+    rng = random.Random(f"{seed}:{index}")
+    leaf_name = f"{name}_m{index:05d}"
+    family = index % 8
+    if family == 0:
+        return random_gate_module(
+            leaf_name,
+            gates=rng.randrange(8, 25),
+            inputs=rng.randrange(3, 7),
+            outputs=rng.randrange(2, 4),
+            seed=rng.randrange(1_000_000),
+            locality=round(rng.uniform(0.2, 0.9), 2),
+        )
+    if family == 1:
+        return adder_module(leaf_name, bits=rng.randrange(3, 8))
+    if family == 2:
+        return counter_module(leaf_name, bits=rng.randrange(3, 7))
+    if family == 3:
+        return decoder_module(leaf_name, address_bits=rng.randrange(2, 5))
+    if family == 4:
+        return mux_tree_module(leaf_name, select_bits=rng.randrange(2, 5))
+    if family == 5:
+        return lfsr_module(leaf_name, bits=rng.randrange(4, 10))
+    if family == 6:
+        return alu_slice_module(leaf_name, bits=rng.randrange(2, 5))
+    return register_file_module(
+        leaf_name, words=rng.randrange(2, 5), bits=rng.randrange(2, 5)
+    )
+
+
+def _leaf_ports(leaf: Module) -> Tuple[List[Port], List[Port]]:
+    inputs = [
+        port for port in leaf.ports
+        if port.direction is PortDirection.INPUT
+    ]
+    outputs = [
+        port for port in leaf.ports
+        if port.direction is not PortDirection.INPUT
+    ]
+    if not inputs or not outputs:
+        raise NetlistError(
+            f"leaf {leaf.name!r} needs at least one input and one "
+            "output port to join a design"
+        )
+    return inputs, outputs
+
+
+def _build_block(
+    block_name: str, group: Sequence[Module]
+) -> Tuple[Module, List[Tuple[str, Tuple[str, ...]]]]:
+    """One block module instantiating its leaves: a chain plus a
+    block-wide broadcast net.  Returns the block and its leaf-level
+    global nets."""
+    block = Module(block_name)
+    broadcast = f"{block_name}_bcast"
+    nets: List[Tuple[str, Tuple[str, ...]]] = []
+    broadcast_members: List[str] = []
+    for position, leaf in enumerate(group):
+        inputs, outputs = _leaf_ports(leaf)
+        instance = f"u{position:04d}"
+        pins: Dict[str, str] = {}
+        chained = None
+        for port_index, port in enumerate(inputs):
+            if position > 0 and port_index == 0:
+                chained = f"{block_name}_c{position - 1}"
+                pins[port.name] = chained
+            elif len(inputs) > 1 and port_index == 1:
+                pins[port.name] = broadcast
+                broadcast_members.append(leaf.name)
+            else:
+                pins[port.name] = f"{instance}_{port.name}"
+        for port_index, port in enumerate(outputs):
+            if port_index == 0 and position < len(group) - 1:
+                pins[port.name] = f"{block_name}_c{position}"
+            else:
+                pins[port.name] = f"{instance}_{port.name}"
+        block.add_device(Device(instance, leaf.name, pins))
+        if chained is not None:
+            nets.append((chained, (group[position - 1].name, leaf.name)))
+    if len(broadcast_members) >= 2:
+        nets.append((broadcast, tuple(broadcast_members)))
+
+    first_inputs, _ = _leaf_ports(group[0])
+    _, last_outputs = _leaf_ports(group[-1])
+    block.add_port(Port(
+        "bi", PortDirection.INPUT, f"u0000_{first_inputs[0].name}"
+    ))
+    block.add_port(Port(
+        "bo", PortDirection.OUTPUT,
+        f"u{len(group) - 1:04d}_{last_outputs[0].name}",
+    ))
+    block.add_port(Port("bb", PortDirection.INPUT, broadcast))
+    return block, nets
+
+
+def _build_top(
+    name: str,
+    blocks: Sequence[Module],
+    groups: Sequence[Sequence[Module]],
+) -> Tuple[Module, List[Tuple[str, Tuple[str, ...]]]]:
+    """The chip module: blocks chained ``bo -> bi``, all broadcast pins
+    on one chip-wide net."""
+    top = Module(name)
+    nets: List[Tuple[str, Tuple[str, ...]]] = []
+    for index, block in enumerate(blocks):
+        top.add_device(Device(f"b{index:04d}", block.name, {
+            "bi": "t_in" if index == 0 else f"t_c{index - 1}",
+            "bo": f"t_c{index}" if index < len(blocks) - 1 else "t_out",
+            "bb": "t_bcast",
+        }))
+        if index > 0:
+            nets.append((
+                f"t_c{index - 1}",
+                (groups[index - 1][-1].name, groups[index][0].name),
+            ))
+    top.add_port(Port("t_in", PortDirection.INPUT, "t_in"))
+    top.add_port(Port("t_bcast", PortDirection.INPUT, "t_bcast"))
+    top.add_port(Port("t_out", PortDirection.OUTPUT, "t_out"))
+    return top, nets
+
+
+def _infer_file_top(
+    parents: Sequence[Module], library: Mapping[str, Module]
+) -> Optional[Module]:
+    """The unique uninstantiated parent, when the library has one."""
+    if not parents:
+        return None
+    instantiated = {
+        device.cell
+        for module in library.values()
+        for device in module.devices
+        if device.cell in library
+    }
+    tops = [
+        module for module in parents if module.name not in instantiated
+    ]
+    return tops[0] if len(tops) == 1 else None

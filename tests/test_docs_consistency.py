@@ -136,3 +136,40 @@ def test_documented_cli_flags_exist():
                         f"flag {flag}: {line.strip()!r}"
                     )
     assert not problems, "\n".join(problems)
+
+
+def test_portfolio_cli_flags_are_documented():
+    """The `mae floorplan` race and the bench's portfolio gates are
+    user-facing knobs: the README quick-start must show the command,
+    and the resume/checkpoint/gate flags must appear in the docs (the
+    generic flag-existence check above then proves they are real)."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+    assert "mae floorplan" in readme
+    for flag in ("--resume", "--checkpoint", "--stop-after", "--serial"):
+        assert flag in readme, f"README.md lost the {flag} quick-start"
+    for flag in ("--portfolio-modules", "--assert-portfolio-speedup",
+                 "--spot-checks"):
+        assert flag in performance, (
+            f"docs/PERFORMANCE.md lost the {flag} documentation"
+        )
+
+
+def test_portfolio_flags_exist_on_parsers():
+    """Every documented portfolio knob is registered where the docs
+    say it is: the floorplan subcommand and the bench gates."""
+    parser = build_parser()
+    subparsers = None
+    for action in parser._subparsers._group_actions:
+        if isinstance(action, argparse._SubParsersAction):
+            subparsers = action.choices
+    floorplan = _option_strings(subparsers["floorplan"])
+    for flag in ("--portfolio", "--serial", "--steps", "--seed",
+                 "--design-seed", "--resume", "--checkpoint",
+                 "--checkpoint-every", "--stop-after", "--row-window",
+                 "--aspect-target", "--aspect-weight", "--spot-checks",
+                 "--json"):
+        assert flag in floorplan, f"mae floorplan lost {flag}"
+    bench = _option_strings(subparsers["bench"])
+    for flag in ("--portfolio-modules", "--assert-portfolio-speedup"):
+        assert flag in bench, f"mae bench lost {flag}"

@@ -316,6 +316,52 @@ class TestBenchRecord:
         with pytest.raises(BenchmarkError):
             load_bench_record(path)
 
+    def test_carries_floorplan_phase(self, record):
+        """Schema v6: the portfolio floorplan race is present, both
+        engines walked bit-identical trajectories, and the resume
+        replay matched the uninterrupted run."""
+        phases = {p["name"] for p in record["phases"]}
+        assert {"floorplan_serial", "floorplan_portfolio"} <= phases
+        floorplan = record["floorplan"]
+        assert floorplan["modules"] >= 2
+        assert floorplan["steps"] >= 1
+        assert floorplan["winner"] in floorplan["searchers"]
+        assert floorplan["serial"]["modules_per_sec"] > 0
+        assert floorplan["portfolio"]["modules_per_sec"] > 0
+        assert record["equivalence"]["floorplan_portfolio"] is True
+        assert record["equivalence"]["floorplan_resume"] is True
+        assert record["speedups"]["floorplan_portfolio_vs_serial"] > 0
+
+    def test_rejects_missing_floorplan_section(self, record):
+        broken = {k: v for k, v in record.items() if k != "floorplan"}
+        with pytest.raises(BenchmarkError, match="floorplan"):
+            validate_bench_record(broken)
+
+    def test_history_appends_prior_records(self, record, tmp_path):
+        """Schema v6: writing over an existing record folds it into the
+        new record's ``history`` list instead of overwriting it."""
+        path = tmp_path / "bench.json"
+        write_bench_record(record, path)
+        write_bench_record(record, path)
+        twice = load_bench_record(path)
+        assert len(twice["history"]) == 1
+        assert "history" not in twice["history"][0]
+        write_bench_record(record, path)
+        thrice = load_bench_record(path)
+        assert len(thrice["history"]) == 2
+
+    def test_history_refuses_corrupt_prior_file(self, record, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchmarkError):
+            write_bench_record(record, path)
+
+    def test_rejects_nested_history(self, record):
+        entry = {k: v for k, v in record.items() if k != "history"}
+        broken = {**record, "history": [{**entry, "history": []}]}
+        with pytest.raises(BenchmarkError):
+            validate_bench_record(broken)
+
     def test_synthetic_population_is_deterministic(self):
         first = synthetic_sweep_modules(10)
         second = synthetic_sweep_modules(10)

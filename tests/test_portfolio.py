@@ -1,0 +1,287 @@
+"""Tests for the parallel portfolio floorplan optimizer.
+
+The contract under test is the one the bench and CI gates rely on:
+
+- the compiled ``portfolio`` engine and the rescan-per-query ``serial``
+  engine walk **bit-identical** trajectories (same chained hashes, same
+  winner, same best cost);
+- same-seed reruns and resume-from-checkpoint replays are bit-identical;
+- corrupt or mismatched resume files raise :class:`CheckpointError`
+  *before* any optimizer state is touched;
+- the candidate-ranking helpers accept an injected scan so the shared
+  plan cache sees one compilation per (module, rows) pair.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import EstimatorConfig
+from repro.errors import CheckpointError, FloorplanError
+from repro.floorplan.portfolio import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_VERSION,
+    PortfolioConfig,
+    load_checkpoint,
+    run_portfolio,
+    write_checkpoint,
+)
+from repro.perf.plan import clear_plan_cache, plan_cache_stats
+from repro.workloads.designs import generate_design
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate_design(12, seed=17, name="dut")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PortfolioConfig(steps=60, seed=5, checkpoint_every=20,
+                           spot_checks=2)
+
+
+def _signature(result):
+    return (
+        dict(result.trajectory_hashes),
+        result.winner,
+        result.best_cost,
+        dict(result.best_rows),
+    )
+
+
+class TestConfig:
+    def test_identity_is_jsonable_and_stable(self, config):
+        identity = config.identity()
+        assert json.loads(json.dumps(identity)) == identity
+        assert identity == config.identity()
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(FloorplanError):
+            PortfolioConfig(steps=0)
+
+    def test_rejects_unknown_searcher(self):
+        with pytest.raises(FloorplanError):
+            PortfolioConfig(searchers=("annealing", "tabu"))
+
+    def test_rejects_bad_aspect_target(self):
+        with pytest.raises(FloorplanError):
+            PortfolioConfig(aspect_target=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_bit_identically(self, design, cmos, config):
+        a = run_portfolio(design, cmos, config)
+        b = run_portfolio(design, cmos, config)
+        assert _signature(a) == _signature(b)
+
+    def test_engines_walk_identical_trajectories(self, design, cmos,
+                                                 config):
+        portfolio = run_portfolio(design, cmos, config, engine="portfolio")
+        serial = run_portfolio(design, cmos, config, engine="serial")
+        assert portfolio.trajectory_hashes == serial.trajectory_hashes
+        assert portfolio.winner == serial.winner
+        assert portfolio.best_cost == serial.best_cost
+        assert portfolio.best_rows == serial.best_rows
+
+    def test_seed_changes_trajectory(self, design, cmos, config):
+        a = run_portfolio(design, cmos, config)
+        b = run_portfolio(
+            design, cmos,
+            PortfolioConfig(steps=config.steps, seed=config.seed + 1,
+                            checkpoint_every=20, spot_checks=2),
+        )
+        assert a.trajectory_hashes != b.trajectory_hashes
+
+    def test_result_shape(self, design, cmos, config):
+        result = run_portfolio(design, cmos, config)
+        assert result.module_count == design.module_count
+        assert set(result.searchers) == set(config.searchers)
+        assert set(result.best_rows) == {
+            leaf.name for leaf in design.leaves
+        }
+        assert result.chip["area"] > 0
+        assert result.chip["utilization"] > 0
+        assert result.spot_checks == config.spot_checks
+        assert result.modules_per_sec > 0
+        payload = result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestResume:
+    def test_resume_matches_uninterrupted_run(self, design, cmos, config,
+                                              tmp_path):
+        full = run_portfolio(design, cmos, config)
+        path = tmp_path / "resume.json"
+        run_portfolio(design, cmos, config, checkpoint_path=str(path),
+                      stop_after=config.steps // 2)
+        resumed = run_portfolio(
+            design, cmos, config, resume=load_checkpoint(str(path)),
+        )
+        assert _signature(resumed) == _signature(full)
+
+    def test_stop_after_must_be_positive(self, design, cmos, config):
+        with pytest.raises(FloorplanError):
+            run_portfolio(design, cmos, config, stop_after=0)
+
+    def test_checkpoint_round_trips(self, design, cmos, config, tmp_path):
+        path = tmp_path / "ck.json"
+        run_portfolio(design, cmos, config, checkpoint_path=str(path),
+                      stop_after=20)
+        payload = load_checkpoint(str(path))
+        assert payload["kind"] == CHECKPOINT_KIND
+        assert payload["schema_version"] == CHECKPOINT_VERSION
+        assert payload["config"] == config.identity()
+        assert set(payload["searchers"]) == set(config.searchers)
+
+
+class TestCheckpointCorruption:
+    """Satellite: every resume failure mode is a typed error raised
+    before optimizer state is touched."""
+
+    @pytest.fixture(scope="class")
+    def good_payload(self, design, cmos, config, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ck") / "good.json"
+        run_portfolio(design, cmos, config, checkpoint_path=str(path),
+                      stop_after=20)
+        return load_checkpoint(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "absent.json"))
+
+    def test_truncated_json(self, good_payload, tmp_path):
+        path = tmp_path / "trunc.json"
+        text = json.dumps(good_payload)
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(str(path))
+
+    def test_wrong_kind(self, good_payload, tmp_path):
+        path = tmp_path / "kind.json"
+        write_checkpoint(str(path), {**good_payload, "kind": "bench"})
+        with pytest.raises(CheckpointError, match="kind"):
+            load_checkpoint(str(path))
+
+    def test_wrong_schema_version(self, good_payload, tmp_path):
+        path = tmp_path / "ver.json"
+        write_checkpoint(str(path),
+                         {**good_payload, "schema_version": 99})
+        with pytest.raises(CheckpointError, match="schema version"):
+            load_checkpoint(str(path))
+
+    def test_missing_searcher_field(self, good_payload, tmp_path):
+        path = tmp_path / "field.json"
+        searchers = {
+            name: {k: v for k, v in entry.items() if k != "hash"}
+            for name, entry in good_payload["searchers"].items()
+        }
+        write_checkpoint(str(path),
+                         {**good_payload, "searchers": searchers})
+        with pytest.raises(CheckpointError, match="missing or mistyped"):
+            load_checkpoint(str(path))
+
+    def test_mistyped_searcher_field(self, good_payload, tmp_path):
+        path = tmp_path / "type.json"
+        searchers = {
+            name: {**entry, "step": True}
+            for name, entry in good_payload["searchers"].items()
+        }
+        write_checkpoint(str(path),
+                         {**good_payload, "searchers": searchers})
+        with pytest.raises(CheckpointError, match="missing or mistyped"):
+            load_checkpoint(str(path))
+
+    def test_wrong_engine(self, good_payload, design, cmos, config):
+        with pytest.raises(CheckpointError, match="engine"):
+            run_portfolio(design, cmos, config,
+                          resume={**good_payload, "engine": "serial"})
+
+    def test_wrong_design(self, good_payload, cmos, config):
+        other = generate_design(12, seed=18, name="other")
+        with pytest.raises(CheckpointError, match="design"):
+            run_portfolio(other, cmos, config, resume=good_payload)
+
+    def test_wrong_config(self, good_payload, design, cmos, config):
+        shifted = PortfolioConfig(steps=config.steps,
+                                  seed=config.seed + 1,
+                                  checkpoint_every=20, spot_checks=2)
+        with pytest.raises(CheckpointError, match="config"):
+            run_portfolio(design, cmos, shifted, resume=good_payload)
+
+    def test_rows_not_covering_modules(self, good_payload, design, cmos,
+                                       config):
+        searchers = {
+            name: {**entry, "rows": dict(list(entry["rows"].items())[:-1])}
+            for name, entry in good_payload["searchers"].items()
+        }
+        with pytest.raises(CheckpointError, match="cover"):
+            run_portfolio(design, cmos, config,
+                          resume={**good_payload, "searchers": searchers})
+
+
+class TestPlanCacheSharing:
+    """Satellite: the optimizer's hot path must reuse the shared plan
+    cache — one compilation per (module, rows) pair, the rest hits."""
+
+    def test_portfolio_engine_reuses_plans(self, design, cmos):
+        clear_plan_cache()
+        run_portfolio(
+            design, cmos,
+            PortfolioConfig(steps=40, seed=3, spot_checks=0),
+        )
+        stats = plan_cache_stats()
+        assert stats["compilations"] == stats["entries"]
+        assert stats["hits"] > 0
+        assert stats["evaluations"] >= stats["compilations"]
+
+
+class TestFloorplanCommand:
+    def test_generated_design_run(self, capsys):
+        assert main([
+            "floorplan", "12", "--steps", "40", "--seed", "5",
+            "--spot-checks", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio" in out
+        assert "winner" in out
+
+    def test_json_output_and_serial_match(self, tmp_path, capsys):
+        fast = tmp_path / "fast.json"
+        slow = tmp_path / "slow.json"
+        common = ["floorplan", "10", "--steps", "30", "--seed", "7",
+                  "--spot-checks", "0"]
+        assert main(common + ["--json", str(fast)]) == 0
+        assert main(common + ["--serial", "--json", str(slow)]) == 0
+        capsys.readouterr()
+        a = json.loads(fast.read_text())
+        b = json.loads(slow.read_text())
+        assert a["trajectory_hashes"] == b["trajectory_hashes"]
+        assert a["winner"] == b["winner"]
+        assert a["engine"] == "portfolio"
+        assert b["engine"] == "serial"
+
+    def test_checkpoint_resume_cycle(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        common = ["floorplan", "8", "--steps", "40", "--seed", "3",
+                  "--spot-checks", "0"]
+        assert main(common + ["--json", str(full)]) == 0
+        assert main(common + ["--checkpoint", str(ck),
+                              "--stop-after", "20"]) == 0
+        assert main(common + ["--resume", str(ck),
+                              "--json", str(resumed)]) == 0
+        capsys.readouterr()
+        a = json.loads(full.read_text())
+        b = json.loads(resumed.read_text())
+        assert a["trajectory_hashes"] == b["trajectory_hashes"]
+        assert a["best_cost"] == b["best_cost"]
+
+    def test_rejects_bad_resume_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["floorplan", "8", "--resume", str(bad)])
+        capsys.readouterr()
+        assert code != 0
