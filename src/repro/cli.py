@@ -172,6 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--rows", type=int, default=None,
                          help="fix the standard-cell row count")
     explain.add_argument(
+        "--congestion", action="store_true",
+        help="print the per-channel track-demand distribution and "
+             "routability score instead of the per-net terms "
+             "(standard-cell only)",
+    )
+    explain.add_argument(
+        "--channel-capacity", type=int, default=None, metavar="T",
+        help="override the channel track capacity for --congestion "
+             "(default: the process database's value, else the model "
+             "default)",
+    )
+    explain.add_argument(
         "--trace", default=None, metavar="FILE",
         help="also record the estimation spans/metrics to this JSONL file",
     )
@@ -259,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the portfolio floorplan engine "
                             "is at least X times the serial loop in "
                             "modules/sec (CI gate)")
+    bench.add_argument("--assert-congestion-overhead", type=float,
+                       default=None, metavar="X",
+                       help="fail if the routability-scored portfolio "
+                            "sweep takes more than X times the unscored "
+                            "sweep's wall time (CI gate; lower is better)")
     bench.set_defaults(handler=_cmd_bench)
 
     floorplan = sub.add_parser(
@@ -315,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="design-level target aspect ratio")
     floorplan.add_argument("--aspect-weight", type=float, default=0.25,
                            help="aspect-penalty weight in the objective")
+    floorplan.add_argument("--routability-weight", type=float, default=0.0,
+                           help="congestion-risk weight in the objective: "
+                                "each move's cost is scaled by 1 + W * "
+                                "(1 - routability) (default 0.0, which "
+                                "keeps the unscored arithmetic bit for "
+                                "bit)")
     floorplan.add_argument("--spot-checks", type=int, default=8,
                            metavar="K",
                            help="exact-backend recomputations of table "
@@ -423,6 +446,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "envelope over the corpus and write the "
                              "artifact (VERIFY_backend_envelope.json "
                              "format) to FILE")
+    verify.add_argument("--congestion-report", default=None, metavar="FILE",
+                        help="route the corpus's standard-cell cases and "
+                             "write the predicted-vs-routed channel "
+                             "demand artifact "
+                             "(VERIFY_congestion_envelope.json format) "
+                             "to FILE")
     _add_jobs_argument(verify)
     verify.set_defaults(handler=_cmd_verify)
 
@@ -635,6 +664,7 @@ def _cmd_explain(args) -> None:
     from repro.obs.explain import (
         explain_full_custom,
         explain_standard_cell,
+        format_congestion_explanation,
         format_full_custom_explanation,
         format_standard_cell_explanation,
         resolve_module,
@@ -646,9 +676,24 @@ def _cmd_explain(args) -> None:
     config = EstimatorConfig(rows=args.rows)
     module = resolve_module(args.module, process)
 
+    if args.congestion and args.methodology != "standard-cell":
+        raise ReproError(
+            "--congestion needs the standard-cell methodology: the "
+            "full-custom flow has no routing channels"
+        )
+
     tracer = Tracer() if args.trace else None
 
     def run():
+        if args.congestion:
+            from repro.congestion.model import congestion_report
+
+            return format_congestion_explanation(
+                congestion_report(
+                    module, process, rows=args.rows, config=config,
+                    capacity=args.channel_capacity,
+                )
+            )
         if args.methodology == "standard-cell":
             return format_standard_cell_explanation(
                 explain_standard_cell(module, process, config)
@@ -864,6 +909,22 @@ def _cmd_bench(args) -> None:
             f"floorplan portfolio speedup {ratio:.2f}x meets the "
             f"required {args.assert_portfolio_speedup:.2f}x"
         )
+    if args.assert_congestion_overhead is not None:
+        ratio = record["speedups"].get("floorplan_scored_overhead")
+        if ratio is None:
+            raise BenchmarkError(
+                "cannot assert congestion overhead: this bench record "
+                "has no routability-scored floorplan phase"
+            )
+        if ratio > args.assert_congestion_overhead:
+            raise BenchmarkError(
+                f"routability-scored sweep overhead {ratio:.2f}x is "
+                f"above the allowed {args.assert_congestion_overhead:.2f}x"
+            )
+        print(
+            f"routability-scored sweep overhead {ratio:.2f}x is within "
+            f"the allowed {args.assert_congestion_overhead:.2f}x"
+        )
 
 
 def _cmd_floorplan(args) -> None:
@@ -902,6 +963,7 @@ def _cmd_floorplan(args) -> None:
         searchers=searchers,
         aspect_target=args.aspect_target,
         aspect_weight=args.aspect_weight,
+        routability_weight=args.routability_weight,
         row_window=args.row_window,
         checkpoint_every=args.checkpoint_every,
         jobs=args.jobs,
@@ -1126,6 +1188,15 @@ def _cmd_verify(args) -> None:
             f"{summary['bounds']['high']:+.2f}), "
             f"{summary['violations']} violation(s)"
         )
+    if report.congestion_summary.get("cases"):
+        summary = report.congestion_summary
+        print(
+            f"  congestion: {summary['cases']} cases, total error "
+            f"{summary['min_total_error']:+.3f}.."
+            f"{summary['max_total_error']:+.3f}, shape error <= "
+            f"{summary['max_shape_error']:.3f}, "
+            f"{summary['violations']} violation(s)"
+        )
     print(f"gates: " + ", ".join(
         f"{stage}={'pass' if ok else 'FAIL'}"
         for stage, ok in report.gates.items()
@@ -1160,6 +1231,27 @@ def _cmd_verify(args) -> None:
             f"{summary['cases']} cases, max spread error "
             f"{summary['max_spread_error']:.3e}, max mean error "
             f"{summary['max_mean_error']:.3e}, "
+            f"{summary['violations']} violation(s)"
+        )
+    if args.congestion_report is not None:
+        from repro.technology import cmos_process
+        from repro.verify import (
+            draw_corpus,
+            measure_congestion_envelope,
+            save_congestion_envelope,
+        )
+
+        envelope = measure_congestion_envelope(
+            draw_corpus(args.seeds, args.base_seed), cmos_process()
+        )
+        save_congestion_envelope(envelope, args.congestion_report)
+        summary = envelope["summary"]
+        print(
+            f"congestion envelope written to {args.congestion_report}: "
+            f"{summary['cases']} cases, total error "
+            f"{summary['min_total_error']:+.3f}.."
+            f"{summary['max_total_error']:+.3f}, max shape error "
+            f"{summary['max_shape_error']:.3f}, "
             f"{summary['violations']} violation(s)"
         )
     if report.failures:

@@ -1,0 +1,43 @@
+"""Per-channel congestion distributions and early routability scoring.
+
+Extends the paper's single per-module track count (Eq. 2-3) into a
+per-channel track-demand distribution — mean and capacity-exceedance
+probability per routing channel — plus a scalar routability score, all
+derived from the same span/crossing probabilities the estimator
+already computes.  See :mod:`repro.congestion.model` for the
+production float path and :mod:`repro.congestion.reference` for the
+Fraction-exact oracle it is property-tested against; the router-backed
+accuracy gate lives in :mod:`repro.verify.congestion_envelope`.
+"""
+
+from repro.congestion.model import (
+    CAPACITY_SOURCES,
+    CongestionDistribution,
+    CongestionReport,
+    DEFAULT_CHANNEL_CAPACITY,
+    congestion_distribution,
+    congestion_report,
+    resolve_channel_capacity,
+    routability_score,
+)
+from repro.congestion.reference import (
+    exact_channel_weights,
+    exact_crossing_probability,
+    exact_demand_means,
+    exact_total_tracks,
+)
+
+__all__ = [
+    "CAPACITY_SOURCES",
+    "CongestionDistribution",
+    "CongestionReport",
+    "DEFAULT_CHANNEL_CAPACITY",
+    "congestion_distribution",
+    "congestion_report",
+    "exact_channel_weights",
+    "exact_crossing_probability",
+    "exact_demand_means",
+    "exact_total_tracks",
+    "resolve_channel_capacity",
+    "routability_score",
+]

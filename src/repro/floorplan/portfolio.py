@@ -51,6 +51,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.congestion.model import (
+    congestion_distribution,
+    resolve_channel_capacity,
+)
 from repro.core.candidates import _spread_around
 from repro.core.config import EstimatorConfig
 from repro.core.results import StandardCellEstimate
@@ -60,7 +64,7 @@ from repro.incremental import IncrementalEstimator
 from repro.netlist import scan_module
 from repro.obs import current_tracer
 from repro.perf.batch import estimate_batch
-from repro.perf.plan import compile_plan, plan_cache_stats
+from repro.perf.plan import compile_plan, get_plan, plan_cache_stats
 from repro.technology import ProcessDatabase
 from repro.workloads.designs import HierarchicalDesign
 
@@ -94,6 +98,7 @@ class PortfolioConfig:
     searchers: Tuple[str, ...] = SEARCHERS
     aspect_target: float = 1.0
     aspect_weight: float = 0.25
+    routability_weight: float = 0.0
     row_window: int = 2
     checkpoint_every: int = 200
     jobs: int = 1
@@ -118,6 +123,8 @@ class PortfolioConfig:
             raise FloorplanError("aspect_target must be positive")
         if self.aspect_weight < 0:
             raise FloorplanError("aspect_weight must be >= 0")
+        if self.routability_weight < 0:
+            raise FloorplanError("routability_weight must be >= 0")
         if self.row_window < 1:
             raise FloorplanError(f"row_window must be >= 1, got {self.row_window}")
         if self.checkpoint_every < 1:
@@ -129,6 +136,7 @@ class PortfolioConfig:
             "aspect_target": self.aspect_target,
             "aspect_weight": self.aspect_weight,
             "max_rows": self.estimator.max_rows,
+            "routability_weight": self.routability_weight,
             "row_window": self.row_window,
             "searchers": list(self.searchers),
             "seed": self.seed,
@@ -160,6 +168,8 @@ class SerialEstimateServer:
         self._modules = {leaf.name: leaf for leaf in design.leaves}
         self._process = process
         self._config = config
+        self._capacity, _ = resolve_channel_capacity(process)
+        self._routability: Dict[Tuple[str, int], float] = {}
         self.evaluations = 0
         self.table_hits = 0
 
@@ -177,6 +187,37 @@ class SerialEstimateServer:
             self._process,
             self._config.estimator.with_rows(rows),
         )
+
+    def routability(self, name: str, rows: int) -> float:
+        """P(no channel overflows) for ``name`` at ``rows``, memoized.
+
+        A fresh scan per miss (the serial contract), then the shared
+        :func:`congestion_distribution` arithmetic — the same function
+        the compiled server reaches through its plans, so both engines
+        price routability bit-identically.
+        """
+        key = (name, rows)
+        cached = self._routability.get(key)
+        if cached is not None:
+            return cached
+        estimator = self._config.estimator
+        stats = scan_module(
+            self._modules[name],
+            device_width=self._process.device_width,
+            device_height=self._process.device_height,
+            port_width=estimator.port_pitch_override
+            or self._process.port_pitch,
+            power_nets=estimator.power_nets,
+        )
+        value = congestion_distribution(
+            stats.multi_component_nets,
+            rows,
+            self._capacity,
+            mode=estimator.row_spread_mode,
+            backend=self._config.backend,
+        ).routability
+        self._routability[key] = value
+        return value
 
 
 class CompiledEstimateServer:
@@ -205,6 +246,9 @@ class CompiledEstimateServer:
         self._config = config
         self._table: Dict[Tuple[str, int], StandardCellEstimate] = {}
         self._engines: Dict[str, IncrementalEstimator] = {}
+        self._capacity, _ = resolve_channel_capacity(process)
+        self._routability: Dict[Tuple[str, int], float] = {}
+        self._plans: Dict[str, object] = {}
         self.evaluations = 0
         self.table_hits = 0
         self.table_misses = 0
@@ -237,16 +281,7 @@ class CompiledEstimateServer:
             self.table_hits += 1
             return cached
         self.table_misses += 1
-        engine = self._engines.get(name)
-        if engine is None:
-            engine = IncrementalEstimator(
-                self._modules[name],
-                self._process,
-                self._config.estimator,
-                copy_module=False,
-                backend=self._config.backend,
-            )
-            self._engines[name] = engine
+        engine = self._engine(name)
         window = _spread_around(
             rows,
             2 * self._config.row_window + 1,
@@ -257,6 +292,54 @@ class CompiledEstimateServer:
             self._table[(name, estimate.rows)] = estimate
         self.evaluations += len(window)
         return self._table[(name, rows)]
+
+    def _engine(self, name: str) -> IncrementalEstimator:
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = IncrementalEstimator(
+                self._modules[name],
+                self._process,
+                self._config.estimator,
+                copy_module=False,
+                backend=self._config.backend,
+            )
+            self._engines[name] = engine
+        return engine
+
+    def routability(self, name: str, rows: int) -> float:
+        """P(no channel overflows) for ``name`` at ``rows``, memoized.
+
+        Served through the module's compiled plan
+        (:meth:`~repro.perf.plan.EstimationPlan.evaluate_congestion`),
+        so the race prices congestion from the same cached histograms
+        as the area estimates; bit-identical to the serial server
+        because the plan's histogram equals a fresh rescan's and the
+        downstream arithmetic is shared.
+        """
+        key = (name, rows)
+        cached = self._routability.get(key)
+        if cached is not None:
+            return cached
+        plan = self._plans.get(name)
+        if plan is None:
+            # One plan lookup per module: the race never edits modules,
+            # so the engine's statistics are stable for the whole run
+            # and the plan its estimate path just used (``last_plan``)
+            # is exactly what ``get_plan`` would return.
+            engine = self._engine(name)
+            plan = engine.last_plan
+            if plan is None:
+                plan = get_plan(
+                    engine.statistics(),
+                    self._process,
+                    self._config.estimator,
+                    expected_version=engine.stats_version,
+                    backend=self._config.backend,
+                )
+            self._plans[name] = plan
+        value = plan.evaluate_congestion(rows, self._capacity).routability
+        self._routability[key] = value
+        return value
 
     def table(self) -> Mapping[Tuple[str, int], StandardCellEstimate]:
         return self._table
@@ -308,6 +391,36 @@ def _module_cost(
     return estimate.area * (1.0 + weight * abs(math.log(ratio)))
 
 
+def _move_cost(
+    server,
+    config: PortfolioConfig,
+    name: str,
+    rows: int,
+    target: float,
+) -> float:
+    """The full priced cost of one (module, rows) candidate.
+
+    The aspect-shaped area cost, optionally scaled by congestion risk:
+    with ``routability_weight = w`` and routability ``r`` the factor is
+    ``1 + w * (1 - r)``, the ``--aspect-weight``-style multiplicative
+    penalty.  At ``w = 0`` the congestion model is never evaluated and
+    the arithmetic is literally the pre-routability sequence, so
+    unweighted trajectories (and their hashes) are unchanged.
+    """
+    cost = _module_cost(
+        server.estimate(name, rows), target, config.aspect_weight
+    )
+    if config.routability_weight > 0.0:
+        # Probe the server's memo directly: the race re-prices the
+        # same (module, rows) pairs thousands of times and the method
+        # dispatch alone is measurable against the gated overhead.
+        score = server._routability.get((name, rows))
+        if score is None:
+            score = server.routability(name, rows)
+        cost *= 1.0 + config.routability_weight * (1.0 - score)
+    return cost
+
+
 # ----------------------------------------------------------------------
 # moves
 # ----------------------------------------------------------------------
@@ -325,9 +438,7 @@ def _best_row(
     for rows in _spread_around(
         centre, 2 * config.row_window + 1, config.estimator.max_rows
     ):
-        cost = _module_cost(
-            server.estimate(name, rows), target, config.aspect_weight
-        )
+        cost = _move_cost(server, config, name, rows, target)
         if cost < best_cost:
             best_rows, best_cost = rows, cost
     return best_rows, best_cost
@@ -343,7 +454,6 @@ def _run_step(
     """Advance ``state`` by one move (the only place RNG is drawn)."""
     step = state.step
     rng = random.Random(f"{config.seed}:{state.name}:{step}")
-    weight = config.aspect_weight
     accepted = False
     move = "rows"
 
@@ -354,12 +464,8 @@ def _run_step(
         new_rows = min(max(old_rows + delta_rows, 1), config.estimator.max_rows)
         if new_rows != old_rows:
             target = state.targets[name]
-            old_cost = _module_cost(
-                server.estimate(name, old_rows), target, weight
-            )
-            new_cost = _module_cost(
-                server.estimate(name, new_rows), target, weight
-            )
+            old_cost = _move_cost(server, config, name, old_rows, target)
+            new_cost = _move_cost(server, config, name, new_rows, target)
             delta = new_cost - old_cost
             span = max(abs(old_cost), 1e-12)
             fraction = (config.steps - 1) or 1
@@ -374,10 +480,8 @@ def _run_step(
 
     elif state.name == "greedy":
         name = permutation[step % len(permutation)]
-        old_cost = _module_cost(
-            server.estimate(name, state.rows[name]),
-            state.targets[name],
-            weight,
+        old_cost = _move_cost(
+            server, config, name, state.rows[name], state.targets[name]
         )
         new_rows, new_cost = _best_row(
             server, state, config, name, state.rows[name], state.targets[name]
@@ -389,10 +493,8 @@ def _run_step(
     else:  # mixed
         name = names[rng.randrange(len(names))]
         if rng.random() < 0.5:
-            old_cost = _module_cost(
-                server.estimate(name, state.rows[name]),
-                state.targets[name],
-                weight,
+            old_cost = _move_cost(
+                server, config, name, state.rows[name], state.targets[name]
             )
             new_rows, new_cost = _best_row(
                 server, state, config, name,
@@ -413,8 +515,8 @@ def _run_step(
                 ),
                 _ASPECT_MAX,
             )
-            old_cost = _module_cost(
-                server.estimate(name, state.rows[name]), old_target, weight
+            old_cost = _move_cost(
+                server, config, name, state.rows[name], old_target
             )
             new_rows, new_cost = _best_row(
                 server, state, config, name, state.rows[name], new_target
@@ -466,19 +568,17 @@ def _accept_rows(
     round-trips Python floats exactly, so a resumed run continues the
     identical arithmetic sequence.
     """
-    weight = config.aspect_weight
-    old_est = server.estimate(name, state.rows[name])
-    new_est = server.estimate(name, new_rows)
+    old_rows = state.rows[name]
     target = state.targets[name]
     if old_shaped is None:
-        old_shaped = _module_cost(old_est, target, weight)
+        old_shaped = _move_cost(server, config, name, old_rows, target)
     if new_shaped is None:
-        new_shaped = _module_cost(new_est, target, weight)
+        new_shaped = _move_cost(server, config, name, new_rows, target)
     state.total = state.total - old_shaped + new_shaped
     state.common_total = (
         state.common_total
-        - _module_cost(old_est, config.aspect_target, weight)
-        + _module_cost(new_est, config.aspect_target, weight)
+        - _move_cost(server, config, name, old_rows, config.aspect_target)
+        + _move_cost(server, config, name, new_rows, config.aspect_target)
     )
     state.rows[name] = new_rows
 
@@ -757,10 +857,8 @@ def run_portfolio(
                 for s in config.searchers
             ]
             shaped = {
-                m: _module_cost(
-                    server.estimate(m, initial_rows[m]),
-                    config.aspect_target,
-                    config.aspect_weight,
+                m: _move_cost(
+                    server, config, m, initial_rows[m], config.aspect_target
                 )
                 for m in names
             }

@@ -437,6 +437,76 @@ def format_standard_cell_explanation(
     return "\n".join(lines)
 
 
+#: Width of the ``mae explain --congestion`` heat bars (characters at
+#: 100% of channel capacity).
+_HEAT_WIDTH = 24
+
+#: Human-readable labels for the capacity fallback chain
+#: (:data:`repro.congestion.model.CAPACITY_SOURCES`).
+_CAPACITY_SOURCE_LABELS = {
+    "override": "explicit --channel-capacity override",
+    "process": "process database",
+    "default": "model default (no capacity in process description)",
+}
+
+
+def format_congestion_explanation(report) -> str:
+    """The ``mae explain --congestion`` per-channel heatmap.
+
+    ``report`` is a :class:`repro.congestion.model.CongestionReport`.
+    Each channel gets a demand bar scaled so a full-capacity channel
+    spans the full bar width; demand past capacity renders as ``!``.
+    The capacity line always names its source, so a capacity that fell
+    back to the model default (instead of coming from the loaded
+    process description) is visible in the report.
+    """
+    distribution = report.distribution
+    source = _CAPACITY_SOURCE_LABELS.get(
+        report.capacity_source, report.capacity_source
+    )
+    headers = ("Channel", "Demand", "Crossing", "P(overflow)", "Heat")
+    body = []
+    for channel in range(distribution.channel_count):
+        demand = distribution.demand_means[channel]
+        fill = demand / report.capacity
+        cells = int(round(fill * _HEAT_WIDTH))
+        overflow = min(_HEAT_WIDTH, max(0, cells - _HEAT_WIDTH))
+        bar = "#" * min(cells, _HEAT_WIDTH) + "!" * overflow
+        body.append(
+            (
+                channel,
+                f"{demand:.2f}",
+                f"{distribution.crossing_means[channel]:.2f}",
+                f"{distribution.exceedances[channel]:.4f}",
+                bar,
+            )
+        )
+    table = render_table(
+        headers, body,
+        title=f"Per-channel track demand ({distribution.channel_count} "
+              f"channels; channel k runs below row k, channel 0 is "
+              f"never used)",
+    )
+    worst = report.worst_channel
+    lines = [
+        f"congestion report for {report.module_name} "
+        f"(n={report.rows} rows, backend={report.backend})",
+        "",
+        f"channel capacity: {report.capacity} tracks "
+        f"(source: {source})",
+        "",
+        table,
+        "",
+        f"total demand: {report.total_demand:.3f} tracks, redistributed "
+        f"from the module's Eq. 2-3 track total",
+        f"worst channel: {worst} "
+        f"(P(overflow)={distribution.exceedances[worst]:.4f})",
+        f"routability score: P(no channel overflows) = "
+        f"{report.routability:.6f}",
+    ]
+    return "\n".join(lines)
+
+
 def format_full_custom_explanation(
     explanation: FullCustomExplanation,
 ) -> str:

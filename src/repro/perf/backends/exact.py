@@ -63,6 +63,16 @@ class ExactBackend:
             for rows in row_counts
         )
 
+    def crossing_probabilities(
+        self,
+        histogram: Sequence[Tuple[int, int]],
+        rows: int,
+    ) -> Tuple[Tuple[float, ...], ...]:
+        """Per-channel crossing probabilities, ``result[k][j]`` for
+        channel ``k`` (0..rows) and histogram entry ``j`` — the
+        congestion model's input grid."""
+        return kernels.channel_crossing_grid(histogram, rows)
+
     def spread_expectations(
         self,
         histogram: Sequence[Tuple[int, int]],

@@ -68,6 +68,26 @@ ROUND_EPSILON = 1e-9
 NEAR_INTEGER_GUARD = 1e-10
 
 
+def _vector_power(base, exponent: int):
+    """:func:`repro.perf.kernels.binary_float_power` on a float64 array.
+
+    The same right-to-left square-and-multiply ladder, elementwise:
+    every element undergoes the identical sequence of IEEE-754
+    multiplies as the scalar kernel, so the resulting array is
+    bit-identical to the scalar values — no libm ``pow`` involved.
+    """
+    result = _np.ones_like(base)
+    square = base
+    remaining = exponent
+    while remaining:
+        if remaining & 1:
+            result = result * square
+        remaining >>= 1
+        if remaining:
+            square = square * square
+    return result
+
+
 class _LogTables:
     """Grown-on-demand log-factorial array and log-surjection triangle."""
 
@@ -138,6 +158,7 @@ class NumpyBackend:
             "batched_evaluations": 0,
             "spread_fallbacks": 0,
             "feedthrough_fallbacks": 0,
+            "congestion_fallbacks": 0,
         }
 
     @property
@@ -358,6 +379,76 @@ class NumpyBackend:
                 for rows in row_counts
             )
         return self._feedthrough_means(histogram, row_counts, model)
+
+    # ------------------------------------------------------------------
+    # per-channel crossing probabilities (the congestion model)
+    # ------------------------------------------------------------------
+    def _crossing_grid(self, sizes, rows: int):
+        """Crossing probability per (channel 0..rows, histogram entry).
+
+        The exponentiations run through :func:`_vector_power`, the
+        elementwise mirror of the scalar kernel's ladder, and the
+        surrounding subtractions/clamps are the same IEEE operations in
+        the same order — so every element is bit-identical to
+        :func:`repro.perf.kernels.channel_crossing_probability`.
+        """
+        rows_f = float(rows)
+        channels = _np.arange(0, rows + 1, dtype=_np.float64)
+        below = channels / rows_f
+        above = (rows_f - channels) / rows_f
+        grid = _np.zeros((rows + 1, len(sizes)))
+        for j, components in enumerate(sizes):
+            if components < 2:
+                continue
+            single = kernels.binary_float_power(1.0 / rows, components)
+            below_power = _vector_power(below, components)
+            above_power = _vector_power(above, components)
+            # Larger term subtracted first, as in the scalar kernel:
+            # keeps the float grid symmetric under k <-> rows - k.
+            column = (
+                1.0
+                - _np.maximum(below_power, above_power)
+                - _np.minimum(below_power, above_power)
+                + single
+            )
+            grid[:, j] = _np.minimum(1.0, _np.maximum(0.0, column))
+        grid[0, :] = 0.0  # channel 0 is never used by the router
+        return grid
+
+    def crossing_probabilities(
+        self,
+        histogram: Sequence[Tuple[int, int]],
+        rows: int,
+    ) -> Tuple[Tuple[float, ...], ...]:
+        """Per-channel crossing probabilities, ``result[k][j]`` for
+        channel ``k`` (0..rows) and histogram entry ``j``.
+
+        Bit-identical to the exact backend by construction (see
+        :func:`_crossing_grid`); the guard band still hands any
+        non-finite element — impossible outside fault injection, but
+        the scheme is uniform across kernels — back to the exact
+        kernel, counted in ``congestion_fallbacks``.
+        """
+        histogram = tuple(histogram)
+        self._validate(rows)
+        self._counters["evaluations"] += 1
+        if not histogram:
+            return tuple(() for _ in range(rows + 1))
+        sizes = [components for components, _ in histogram]
+        grid = self._crossing_grid(sizes, rows)
+        risky = ~_np.isfinite(grid)
+        result = []
+        for channel in range(rows + 1):
+            values = grid[channel]
+            if risky[channel].any():
+                values = values.copy()
+                for j in _np.nonzero(risky[channel])[0]:
+                    self._counters["congestion_fallbacks"] += 1
+                    values[j] = kernels.channel_crossing_probability(
+                        sizes[j], rows, channel
+                    )
+            result.append(tuple(float(value) for value in values))
+        return tuple(result)
 
     # ------------------------------------------------------------------
     # plumbing

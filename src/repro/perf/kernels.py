@@ -635,6 +635,153 @@ def feedthrough_mean_for_histogram(
 
 
 # ----------------------------------------------------------------------
+# per-channel crossing probabilities (the congestion model)
+# ----------------------------------------------------------------------
+def binary_float_power(base: float, exponent: int) -> float:
+    """``base ** exponent`` by right-to-left square-and-multiply.
+
+    The congestion kernels need one exponentiation algorithm whose
+    scalar and vectorized evaluations agree bit-for-bit.  libm ``pow``
+    (what ``float ** int`` and ``np.power`` reach) makes no such
+    promise across implementations, but IEEE-754 multiplication does:
+    this ladder performs the identical sequence of correctly-rounded
+    multiplies whether ``base`` is a Python float or a NumPy array
+    element, so the exact scalar path and the numpy grid path produce
+    the same bits by construction.
+    """
+    if exponent < 0:
+        raise EstimationError(f"exponent must be >= 0, got {exponent}")
+    result = 1.0
+    square = base
+    remaining = exponent
+    while remaining:
+        if remaining & 1:
+            result = result * square
+        remaining >>= 1
+        if remaining:
+            square = square * square
+    return result
+
+
+def _channel_crossing_probability(
+    components: int, rows: int, channel: int
+) -> float:
+    if components < 2 or channel == 0:
+        return 0.0
+    below = binary_float_power(channel / rows, components)
+    above = binary_float_power((rows - channel) / rows, components)
+    # Subtract the larger term first: the mathematical value is
+    # symmetric under channel <-> rows - channel, and ordering the
+    # operands makes the float result symmetric too (the congestion
+    # model mirrors half its per-channel work on that guarantee).
+    if below < above:
+        below, above = above, below
+    probability = (
+        1.0
+        - below
+        - above
+        + binary_float_power(1.0 / rows, components)
+    )
+    return min(1.0, max(0.0, probability))
+
+
+channel_crossing_probability_kernel = _kernel(_channel_crossing_probability)
+
+
+def channel_crossing_probability(
+    components: int, rows: int, channel: int
+) -> float:
+    """P(a D-component net places a trunk in ``channel``).
+
+    Channel numbering follows the global router
+    (:mod:`repro.layout.routing.global_route`): ``rows + 1`` channels,
+    channel k running below row k, channel ``rows`` above the top row.
+    Under the paper's uniform-placement assumption a net uses channel
+    k (1 <= k <= rows) iff it straddles the boundary between rows k-1
+    and k, or lies entirely inside row k-1 (a single-row net routes in
+    the channel above its row), two disjoint events whose union has
+    the closed form::
+
+        P = 1 - (k/n)^D - ((n-k)/n)^D + (1/n)^D
+
+    — the per-boundary generalisation of Eq. 5's central straddle.
+    Channel 0 is never used by the router and carries probability 0,
+    as do single-component nets (nothing to route).
+    """
+    _check_positive("components", components)
+    _check_positive("rows", rows)
+    if not 0 <= channel <= rows:
+        raise EstimationError(f"channel {channel} out of range 0..{rows}")
+    return channel_crossing_probability_kernel(components, rows, channel)
+
+
+def _channel_crossing_grid(
+    histogram: Tuple[Tuple[int, int], ...], rows: int
+) -> Tuple[Tuple[float, ...], ...]:
+    return tuple(
+        tuple(
+            _channel_crossing_probability(components, rows, channel)
+            for components, _ in histogram
+        )
+        for channel in range(rows + 1)
+    )
+
+
+def _channel_crossing_grid_fast(
+    histogram: Tuple[Tuple[int, int], ...], rows: int
+) -> Tuple[Tuple[float, ...], ...]:
+    # One ladder per (entry, boundary) instead of two per cell: the
+    # table (k/rows)^D over k = 0..rows covers both the below and
+    # above terms of every channel, and the sorted subtraction matches
+    # the per-cell kernel exactly (powers[1] IS (1/rows)^D).
+    columns = []
+    for components, _ in histogram:
+        if components < 2:
+            columns.append((0.0,) * (rows + 1))
+            continue
+        powers = [
+            binary_float_power(k / rows, components)
+            for k in range(rows + 1)
+        ]
+        single = powers[1]
+        column = [0.0]
+        for channel in range(1, rows + 1):
+            below = powers[channel]
+            above = powers[rows - channel]
+            if below < above:
+                below, above = above, below
+            column.append(
+                min(1.0, max(0.0, 1.0 - below - above + single))
+            )
+        columns.append(tuple(column))
+    return tuple(
+        tuple(column[channel] for column in columns)
+        for channel in range(rows + 1)
+    )
+
+
+channel_crossing_grid_kernel = _kernel(
+    _channel_crossing_grid, fast=_channel_crossing_grid_fast
+)
+
+
+def channel_crossing_grid(
+    net_size_histogram: Sequence[Tuple[int, int]], rows: int
+) -> Tuple[Tuple[float, ...], ...]:
+    """Crossing probabilities for a whole (D, y_D) histogram.
+
+    ``result[k][j]`` is :func:`channel_crossing_probability` of one
+    net of size ``net_size_histogram[j][0]`` in channel ``k``
+    (0..rows) — one memoized kernel call per (histogram, rows) pair,
+    the congestion analogue of :func:`tracks_for_histogram`, with
+    partial overlap across histograms still exploited through the
+    per-(D, n, k) kernel on a miss.
+    """
+    _check_positive("rows", rows)
+    return channel_crossing_grid_kernel(tuple(net_size_histogram), rows)
+
+
+# ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
 def _check_positive(label: str, value: int) -> None:

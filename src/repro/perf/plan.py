@@ -63,7 +63,7 @@ class EstimationPlan:
         "stats", "process", "config", "histogram", "net_sizes",
         "net_counts", "routed_net_count", "device_count", "average_width",
         "cell_area", "row_height", "track_pitch", "feedthrough_unit_width",
-        "backend_name",
+        "backend_name", "_congestion_memo",
     )
 
     def __init__(
@@ -100,6 +100,10 @@ class EstimationPlan:
         self.row_height = process.row_height
         self.track_pitch = process.track_pitch
         self.feedthrough_unit_width = process.feedthrough_width
+        #: (rows, capacity) -> CongestionDistribution, filled lazily by
+        #: :meth:`evaluate_congestion`.  Plain dict of frozen
+        #: dataclasses, so plans stay picklable.
+        self._congestion_memo: Dict[Tuple[int, int], object] = {}
 
     def evaluate(self, rows: Optional[int] = None) -> StandardCellEstimate:
         """The Eq. 12 estimate at ``rows`` (``None``: Section 5 rows)."""
@@ -168,6 +172,39 @@ class EstimationPlan:
             _note_evaluation()
             estimates.append(estimate)
         return tuple(estimates)
+
+    def evaluate_congestion(self, rows: int, capacity: Optional[int] = None):
+        """The per-channel congestion distribution at ``rows``, memoized.
+
+        ``capacity = None`` resolves through the plan's process
+        (:func:`repro.congestion.model.resolve_channel_capacity`), so a
+        plan prices routability against the same routing budget every
+        other consumer of the process sees.  Results are memoized per
+        ``(rows, capacity)`` — the floorplan race revisits the same row
+        counts constantly — and the arithmetic runs on the plan's own
+        backend, so serial and compiled portfolio servers stay
+        bit-identical.
+        """
+        from repro.congestion.model import (
+            congestion_distribution,
+            resolve_channel_capacity,
+        )
+
+        if rows is None or rows < 1:
+            raise EstimationError(f"row count must be >= 1, got {rows}")
+        resolved, _ = resolve_channel_capacity(self.process, capacity)
+        key = (rows, resolved)
+        distribution = self._congestion_memo.get(key)
+        if distribution is None:
+            distribution = congestion_distribution(
+                self.histogram,
+                rows,
+                resolved,
+                mode=self.config.row_spread_mode,
+                backend=self.backend_name,
+            )
+            self._congestion_memo[key] = distribution
+        return distribution
 
     def _assemble(
         self,

@@ -79,6 +79,10 @@ def nmos_process() -> ProcessDatabase:
         feedthrough_width=7.0,
         track_pitch=7.0,
         port_pitch=8.0,
+        # Routing budget per channel: a conservative manual-era figure
+        # (single metal layer; a channel much taller than ~2 row
+        # heights of tracks signals a placement problem).
+        channel_capacity=16,
         description=(
             "nMOS, Mead-Conway scalable rules, lambda = 2.5 um; matches "
             "the technology of the paper's Table 1 experiments"
@@ -119,6 +123,9 @@ def cmos_process() -> ProcessDatabase:
         feedthrough_width=8.0,
         track_pitch=8.0,
         port_pitch=8.0,
+        # Two routing layers buy a deeper per-channel track budget
+        # than the single-metal nMOS process.
+        channel_capacity=24,
         description="CMOS, lambda = 1.0 um (2 um drawn gate length)",
     )
     for name, (width, pins) in _CMOS_GATES.items():

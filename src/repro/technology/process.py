@@ -10,7 +10,11 @@ fully parameterises both estimators:
 * ``track_pitch`` — centre-to-centre spacing of routing tracks in a
   channel (wire width + spacing),
 * ``port_pitch`` — edge length one module port consumes, used by the
-  aspect-ratio control criterion.
+  aspect-ratio control criterion,
+* ``channel_capacity`` — how many tracks one routing channel can hold
+  before it is considered congested (the technology's routing budget,
+  consumed by :mod:`repro.congestion`); ``None`` means the process
+  does not state one and callers fall back to the model default.
 
 "The estimator deals with different chip fabrication technologies ...
 and can easily be adjusted to cope with new chip fabrication processes"
@@ -80,6 +84,7 @@ class ProcessDatabase:
     feedthrough_width: float
     track_pitch: float
     port_pitch: float = 8.0
+    channel_capacity: Optional[int] = None
     description: str = ""
     _types: Dict[str, DeviceType] = field(default_factory=dict)
 
@@ -98,6 +103,11 @@ class ProcessDatabase:
                     f"process {self.name!r}: {label} must be positive, "
                     f"got {value}"
                 )
+        if self.channel_capacity is not None and self.channel_capacity < 1:
+            raise TechnologyError(
+                f"process {self.name!r}: channel_capacity must be >= 1, "
+                f"got {self.channel_capacity}"
+            )
 
     # ------------------------------------------------------------------
     # device types
@@ -185,6 +195,7 @@ class ProcessDatabase:
             feedthrough_width=self.feedthrough_width,
             track_pitch=self.track_pitch,
             port_pitch=self.port_pitch,
+            channel_capacity=self.channel_capacity,
             description=f"{self.description} (scaled x{factor})".strip(),
         )
         for device_type in self._types.values():

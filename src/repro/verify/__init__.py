@@ -33,6 +33,17 @@ from repro.verify.checks import (
     check_trace_identity,
     run_module_checks,
 )
+from repro.verify.congestion_envelope import (
+    CONGESTION_ENVELOPE_SCHEMA_VERSION,
+    CongestionEnvelopeBounds,
+    CongestionEnvelopePoint,
+    load_congestion_envelope,
+    measure_congestion_case,
+    measure_congestion_envelope,
+    save_congestion_envelope,
+    shape_distance,
+    summarize_congestion,
+)
 from repro.verify.corpus import CaseSpec, draw_corpus, family_names
 from repro.verify.envelope import (
     EnvelopeBounds,
@@ -61,7 +72,10 @@ __all__ = [
     "BACKEND_ENVELOPE_SCHEMA_VERSION",
     "BackendEnvelopeBounds",
     "BackendEnvelopePoint",
+    "CONGESTION_ENVELOPE_SCHEMA_VERSION",
     "CaseSpec",
+    "CongestionEnvelopeBounds",
+    "CongestionEnvelopePoint",
     "CheckResult",
     "EnvelopeBounds",
     "EnvelopePoint",
@@ -87,19 +101,25 @@ __all__ = [
     "draw_corpus",
     "family_names",
     "load_backend_envelope",
+    "load_congestion_envelope",
     "load_records",
     "measure_backend_envelope",
     "measure_backend_errors",
     "measure_case",
+    "measure_congestion_case",
+    "measure_congestion_envelope",
     "perturbed_backend",
     "perturbed_standard_cell",
     "save_backend_envelope",
+    "save_congestion_envelope",
     "replay_records",
     "run_module_checks",
     "run_verify",
     "save_records",
+    "shape_distance",
     "shrink_module",
     "summarize",
+    "summarize_congestion",
     "verification_schedule",
     "without_devices",
 ]

@@ -691,6 +691,18 @@ def check_portfolio_determinism(
             "serial and portfolio engines walk different trajectories: "
             f"{serial.trajectory_hashes} != {first.trajectory_hashes}",
         )
+    weighted_config = dataclasses.replace(config, routability_weight=0.8)
+    weighted = run_portfolio(design, process, weighted_config)
+    weighted_serial = run_portfolio(
+        design, process, weighted_config, engine="serial"
+    )
+    if signature(weighted) != signature(weighted_serial):
+        return CheckResult(
+            name, False,
+            "routability-weighted runs diverge between engines: "
+            f"{weighted.trajectory_hashes} != "
+            f"{weighted_serial.trajectory_hashes}",
+        )
     return CheckResult(name, True)
 
 

@@ -57,6 +57,12 @@ from repro.verify.checks import (
     check_trace_identity,
     run_module_checks,
 )
+from repro.verify.congestion_envelope import (
+    CongestionEnvelopeBounds,
+    CongestionEnvelopePoint,
+    measure_congestion_case,
+    summarize_congestion,
+)
 from repro.verify.corpus import CaseSpec, draw_corpus
 from repro.verify.envelope import (
     EnvelopeBounds,
@@ -85,6 +91,9 @@ class VerifyOptions:
     bounds: EnvelopeBounds = dataclasses.field(
         default_factory=EnvelopeBounds
     )
+    congestion_bounds: CongestionEnvelopeBounds = dataclasses.field(
+        default_factory=CongestionEnvelopeBounds
+    )
     schedule: Optional[AnnealingSchedule] = None
     check_envelope: bool = True
     shrink_budget: int = 120
@@ -98,6 +107,18 @@ class VerifyOptions:
     def wants(self, name: str) -> bool:
         return self.checks is None or name in self.checks
 
+    def wants_congestion(self) -> bool:
+        """Whether the router-backed congestion stage runs.
+
+        Explicit ``--check congestion_oracle`` always runs it (even
+        under ``--skip-envelope`` — the CI smoke gate); otherwise it
+        rides with the envelope stage, so plain ``--skip-envelope``
+        skips every layout oracle as before.
+        """
+        if self.checks is not None:
+            return "congestion_oracle" in self.checks
+        return self.check_envelope
+
 
 @dataclasses.dataclass
 class VerifyReport:
@@ -109,6 +130,8 @@ class VerifyReport:
     check_counts: Dict[str, Dict[str, int]]
     envelope_points: List[EnvelopePoint]
     envelope_summary: Dict[str, dict]
+    congestion_points: List[CongestionEnvelopePoint]
+    congestion_summary: Dict[str, object]
     failures: List[SeedRecord]
     gates: Dict[str, bool]
 
@@ -132,6 +155,12 @@ class VerifyReport:
                 "summary": self.envelope_summary,
                 "points": [
                     point.to_dict() for point in self.envelope_points
+                ],
+            },
+            "congestion": {
+                "summary": self.congestion_summary,
+                "points": [
+                    point.to_dict() for point in self.congestion_points
                 ],
             },
             "failures": [record.to_dict() for record in self.failures],
@@ -164,6 +193,7 @@ CHECK_STAGES: Dict[str, str] = {
     "row_sweep_sanity": "metamorphic",
     "area_monotone_in_devices": "metamorphic",
     "envelope": "envelope",
+    "congestion_oracle": "envelope",
 }
 
 
@@ -362,6 +392,35 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
                 span.set("points", len(envelope_points))
 
     # ------------------------------------------------------------------
+    congestion_points: List[CongestionEnvelopePoint] = []
+    if options.wants_congestion():
+        with tracer.span("verify.congestion") as span:
+            schedule = options.schedule or verification_schedule()
+            process = processes["standard-cell"]
+            for spec, module in built:
+                if spec.methodology != "standard-cell":
+                    continue
+                point = measure_congestion_case(
+                    spec, module, process, options.congestion_bounds,
+                    schedule,
+                )
+                congestion_points.append(point)
+                result = CheckResult(
+                    "congestion_oracle", point.within,
+                    "" if point.within else (
+                        f"total error {point.total_error:+.3f} / shape "
+                        f"error {point.shape_error:.3f} outside bounds "
+                        f"{options.congestion_bounds.to_dict()}"
+                    ),
+                )
+                note(spec, module, result,
+                     _congestion_predicate(spec, process,
+                                           options.congestion_bounds,
+                                           schedule))
+            if tracer.enabled:
+                span.set("points", len(congestion_points))
+
+    # ------------------------------------------------------------------
     failures: List[SeedRecord] = []
     with tracer.span("verify.shrink") as span:
         for spec, module, name, detail, predicate in pending_failures:
@@ -370,7 +429,7 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
             if predicate is not None and module is not None:
                 budget = (
                     options.envelope_shrink_budget
-                    if name == "envelope"
+                    if name in ("envelope", "congestion_oracle")
                     else options.shrink_budget
                 )
                 try:
@@ -415,6 +474,10 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
         check_counts=check_counts,
         envelope_points=envelope_points,
         envelope_summary=summarize(envelope_points, options.bounds),
+        congestion_points=congestion_points,
+        congestion_summary=summarize_congestion(
+            congestion_points, options.congestion_bounds
+        ),
         failures=failures,
         gates=gates,
     )
@@ -446,6 +509,21 @@ def _envelope_predicate(
     return failing
 
 
+def _congestion_predicate(
+    spec: CaseSpec,
+    process: ProcessDatabase,
+    bounds: CongestionEnvelopeBounds,
+    schedule: AnnealingSchedule,
+) -> Callable[[Module], bool]:
+    def failing(candidate: Module) -> bool:
+        point = measure_congestion_case(
+            spec, candidate, process, bounds, schedule
+        )
+        return not point.within
+
+    return failing
+
+
 def replay_records(
     records: Sequence[SeedRecord],
     bounds: Optional[EnvelopeBounds] = None,
@@ -470,6 +548,16 @@ def replay_records(
             result = CheckResult(
                 "envelope", point.within,
                 f"relative error {point.error:+.3f}",
+            )
+        elif record.check == "congestion_oracle":
+            congestion = measure_congestion_case(
+                record.spec, module, process, CongestionEnvelopeBounds(),
+                schedule,
+            )
+            result = CheckResult(
+                "congestion_oracle", congestion.within,
+                f"total error {congestion.total_error:+.3f} / shape "
+                f"error {congestion.shape_error:.3f}",
             )
         elif record.check == "portfolio_determinism":
             result = check_portfolio_determinism(record.spec, process)

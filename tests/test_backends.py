@@ -311,3 +311,105 @@ class TestEquivalence:
             assert backend.tracks_for_histogram(
                 histogram, rows, "paper"
             ) == exact.tracks_for_histogram(histogram, rows, "paper")
+
+
+# ----------------------------------------------------------------------
+# congestion grid: bit-identity, edge cases, and guard fallback
+# ----------------------------------------------------------------------
+class TestCongestionGrid:
+    """``crossing_probabilities`` is the congestion model's backend
+    surface; everything downstream of the grid is shared Python, so
+    grid bit-identity is distribution bit-identity."""
+
+    def test_grid_bit_identical_over_corpus(self):
+        backend = numpy_or_skip()
+        exact = get_backend("exact")
+        from repro.netlist.stats import scan_module
+        from repro.technology.libraries import nmos_process
+        from repro.verify import draw_corpus, family_names
+
+        process = nmos_process()
+        for spec in draw_corpus(len(family_names()), base_seed=3):
+            histogram = scan_module(
+                spec.build(),
+                device_width=process.device_width,
+                device_height=process.device_height,
+                port_width=process.port_pitch,
+            ).net_size_histogram
+            for rows in ROWS_SET:
+                assert backend.crossing_probabilities(
+                    histogram, rows
+                ) == exact.crossing_probabilities(histogram, rows)
+
+    def test_distribution_bit_identical_across_backends(self):
+        numpy_or_skip()
+        from repro.congestion.model import congestion_distribution
+
+        histogram = ((2, 5), (3, 3), (7, 2), (12, 1))
+        for rows in (1, 2, 4, 8):
+            assert congestion_distribution(
+                histogram, rows, 6, backend="numpy"
+            ) == congestion_distribution(
+                histogram, rows, 6, backend="exact"
+            )
+
+    def test_single_component_nets_are_zero_rows(self):
+        backend = numpy_or_skip()
+        exact = get_backend("exact")
+        histogram = ((1, 9), (2, 1))
+        for engine in (backend, exact):
+            grid = engine.crossing_probabilities(histogram, 3)
+            assert all(grid[channel][0] == 0.0 for channel in range(4))
+        assert backend.crossing_probabilities(
+            histogram, 3
+        ) == exact.crossing_probabilities(histogram, 3)
+
+    def test_single_row_certain_crossing(self):
+        backend = numpy_or_skip()
+        exact = get_backend("exact")
+        histogram = ((4, 2),)
+        for engine in (backend, exact):
+            grid = engine.crossing_probabilities(histogram, 1)
+            assert grid[0][0] == 0.0
+            assert grid[1][0] == 1.0
+        assert backend.crossing_probabilities(
+            histogram, 1
+        ) == exact.crossing_probabilities(histogram, 1)
+
+    def test_empty_histogram_grid(self):
+        backend = numpy_or_skip()
+        exact = get_backend("exact")
+        assert backend.crossing_probabilities((), 4) == \
+            exact.crossing_probabilities((), 4)
+        assert backend.crossing_probabilities((), 4) == tuple(
+            () for _ in range(5)
+        )
+
+    def test_grid_mirror_symmetry(self):
+        """Both backends order the power subtraction so the float grid
+        is bitwise symmetric under k <-> rows - k (interior channels) —
+        the identity ``congestion_distribution`` exploits to halve its
+        per-channel work."""
+        backend = numpy_or_skip()
+        exact = get_backend("exact")
+        histogram = ((3, 1), (5, 1), (11, 1))
+        for engine in (backend, exact):
+            for rows in (2, 3, 6, 9):
+                grid = engine.crossing_probabilities(histogram, rows)
+                for channel in range(1, rows):
+                    assert grid[channel] == grid[rows - channel]
+
+    def test_non_finite_grid_falls_back_to_exact(self, monkeypatch):
+        np = pytest.importorskip("numpy")
+        backend = NumpyBackend()
+        exact = get_backend("exact")
+        histogram = ((4, 1), (6, 2))
+
+        def poisoned(self, sizes, rows):
+            return np.full((rows + 1, len(sizes)), np.nan)
+
+        monkeypatch.setattr(NumpyBackend, "_crossing_grid", poisoned)
+        got = backend.crossing_probabilities(histogram, 3)
+        assert got == exact.crossing_probabilities(histogram, 3)
+        assert backend.stats()["congestion_fallbacks"] == \
+            len(histogram) * 4

@@ -173,3 +173,45 @@ def test_portfolio_flags_exist_on_parsers():
     bench = _option_strings(subparsers["bench"])
     for flag in ("--portfolio-modules", "--assert-portfolio-speedup"):
         assert flag in bench, f"mae bench lost {flag}"
+
+
+def test_congestion_surface_is_documented():
+    """The routability-scoring surface added with the congestion model
+    stays documented where users will look for it: the README
+    quick-start, the oracle calibration, and the bench gate."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "## Routability scoring" in readme
+    for flag in ("--congestion", "--channel-capacity",
+                 "--routability-weight"):
+        assert flag in readme, f"README.md lost the {flag} quick-start"
+    oracles = (REPO_ROOT / "docs" / "ORACLES.md").read_text()
+    assert "congestion_oracle" in oracles
+    assert "VERIFY_congestion_envelope.json" in oracles
+    assert "--congestion-report" in oracles
+    performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+    assert "--assert-congestion-overhead" in performance
+    assert "--routability-weight" in performance
+    testing = (REPO_ROOT / "docs" / "TESTING.md").read_text()
+    assert "congestion_oracle" in testing
+
+
+def test_congestion_flags_exist_on_parsers():
+    """Every documented congestion knob is registered where the docs
+    say it is."""
+    parser = build_parser()
+    subparsers = None
+    for action in parser._subparsers._group_actions:
+        if isinstance(action, argparse._SubParsersAction):
+            subparsers = action.choices
+    explain = _option_strings(subparsers["explain"])
+    for flag in ("--congestion", "--channel-capacity"):
+        assert flag in explain, f"mae explain lost {flag}"
+    assert "--routability-weight" in _option_strings(
+        subparsers["floorplan"]
+    )
+    assert "--assert-congestion-overhead" in _option_strings(
+        subparsers["bench"]
+    )
+    verify = _option_strings(subparsers["verify"])
+    for flag in ("--congestion-report", "--check"):
+        assert flag in verify, f"mae verify lost {flag}"
