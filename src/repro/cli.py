@@ -455,6 +455,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(verify)
     verify.set_defaults(handler=_cmd_verify)
 
+    synth = sub.add_parser(
+        "synth",
+        help="synthesize RTL with an optional yosys binary "
+             "(read_liberty -> synth -> dfflibmap -> abc -> stat) and "
+             "record the reported chip area; skips gracefully when no "
+             "yosys exists",
+    )
+    synth.add_argument("verilog", help="RTL Verilog source file")
+    synth.add_argument("--liberty", required=True, metavar="LIB",
+                       help="Liberty cell library to map against")
+    synth.add_argument("--top", default=None, metavar="NAME",
+                       help="top module (default: yosys -auto-top)")
+    synth.add_argument("--blif-out", default=None, metavar="FILE",
+                       help="also write the mapped netlist as BLIF "
+                            "(ready for mae estimate / mae calibrate)")
+    synth.add_argument("--pdn-margin", type=float, default=None,
+                       metavar="X",
+                       help="report the chip area scaled by a power-"
+                            "grid/overhead margin as well (e.g. 1.4)")
+    synth.add_argument("--yosys", default=None, metavar="BIN",
+                       help="yosys binary to use (default: $MAE_YOSYS "
+                            "or PATH lookup)")
+    synth.add_argument("--require", action="store_true",
+                       help="fail instead of skipping when no yosys "
+                            "binary is found (the nightly CI mode)")
+    synth.add_argument("--json", default=None, metavar="FILE",
+                       help="write the synthesis record as JSON")
+    synth.set_defaults(handler=_cmd_synth)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit the per-library correction factor between the "
+             "estimator and Liberty cell areas over the golden "
+             "frontend fixtures, and write the committed accuracy "
+             "envelope (VERIFY_frontend_envelope.json)",
+    )
+    calibrate.add_argument("--fixtures", default=None, metavar="DIR",
+                           help="fixture directory holding *.blif and "
+                                "one *.lib (default: the committed "
+                                "tests/fixtures/frontend)")
+    calibrate.add_argument("--pdn-margin", type=float, default=None,
+                           metavar="X",
+                           help="power-grid/overhead margin applied to "
+                                "the Liberty reference areas "
+                                "(default: 1.4)")
+    calibrate.add_argument("--slack", type=float, default=None,
+                           metavar="X",
+                           help="absolute residual slack added around "
+                                "the measured band (default: 0.05)")
+    calibrate.add_argument("--report", default=None, metavar="FILE",
+                           help="where to write the envelope artifact "
+                                "(default: VERIFY_frontend_envelope"
+                                ".json at the repo root)")
+    calibrate.set_defaults(handler=_cmd_calibrate)
+
     return parser
 
 
@@ -1281,6 +1336,79 @@ def _cmd_verify(args) -> None:
             + ", ".join(s for s, ok in report.gates.items() if not ok)
         )
     print(f"verify: {len(report.cases)} cases, all gates passed")
+
+
+def _cmd_synth(args) -> None:
+    import json
+
+    from repro.frontend.yosys import find_yosys, run_yosys_flow
+
+    binary = find_yosys(args.yosys)
+    if binary is None:
+        if args.require:
+            from repro.errors import FrontendError
+
+            raise FrontendError(
+                "no yosys binary found and --require was given"
+            )
+        print("yosys not found — skipping synthesis (install yosys, "
+              "set $MAE_YOSYS, or pass --yosys BIN)")
+        return
+    result = run_yosys_flow(
+        args.verilog, args.liberty,
+        top=args.top, blif_out=args.blif_out, yosys_bin=args.yosys,
+    )
+    print(f"top module {result.top}: chip area "
+          f"{result.chip_area_um2:g} um^2 (stat -liberty)")
+    if args.pdn_margin is not None:
+        print(f"with x{args.pdn_margin:g} PDN/overhead margin: "
+              f"{result.chip_area_um2 * args.pdn_margin:g} um^2")
+    for cell, count in result.cell_counts:
+        print(f"  {count:6d}  {cell}")
+    if result.blif_path:
+        print(f"mapped BLIF written to {result.blif_path}")
+    if args.json is not None:
+        record = result.to_dict()
+        if args.pdn_margin is not None:
+            record["pdn_margin"] = args.pdn_margin
+            record["chip_area_with_margin_um2"] = (
+                result.chip_area_um2 * args.pdn_margin
+            )
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"synthesis record written to {args.json}")
+
+
+def _cmd_calibrate(args) -> None:
+    from repro.frontend.calibrate import (
+        DEFAULT_PDN_MARGIN,
+        DEFAULT_SLACK,
+        default_envelope_path,
+        measure_frontend_envelope,
+        save_frontend_envelope,
+    )
+
+    record = measure_frontend_envelope(
+        root=args.fixtures,
+        pdn_margin=(args.pdn_margin if args.pdn_margin is not None
+                    else DEFAULT_PDN_MARGIN),
+        slack=args.slack if args.slack is not None else DEFAULT_SLACK,
+    )
+    path = args.report or str(default_envelope_path())
+    save_frontend_envelope(record, path)
+    bounds = record["bounds"]
+    print(f"library {record['library']}: fitted correction factor "
+          f"{record['factor']:.6f} over {record['summary']['cases']} "
+          f"golden design(s), pdn margin x{record['pdn_margin']:g}")
+    for case in record["cases"]:
+        print(f"  {case['design']:>16}: {case['devices']:3d} devices, "
+              f"residual {case['residual']:+.4f}")
+    print(f"stated accuracy band: {bounds['low']:+.4f}.."
+          f"{bounds['high']:+.4f} (slack {record['slack']:g})")
+    print(f"frontend envelope written to {path}")
+    print("gate it with: mae verify --skip-envelope "
+          "--check frontend_accuracy")
 
 
 if __name__ == "__main__":

@@ -51,7 +51,7 @@ class ModuleAreaEstimator:
     def load_schematic(self, path: Union[str, Path]) -> Module:
         """Parse a schematic file; format chosen by extension
         (``.v``/``.sv`` -> Verilog, ``.sp``/``.spi``/``.cir``/``.ckt``
-        -> SPICE).
+        -> SPICE, ``.blif`` -> technology-mapped BLIF).
 
         A Verilog file containing several modules is treated as a
         hierarchical design: it is linked and flattened from its
@@ -71,9 +71,13 @@ class ModuleAreaEstimator:
             return flatten_source(modules)
         if suffix in (".sp", ".spi", ".cir", ".ckt", ".spice"):
             return parse_spice(text, str(path))
+        if suffix == ".blif":
+            from repro.frontend.blif import parse_blif
+
+            return parse_blif(text, str(path))
         raise EstimationError(
             f"cannot infer schematic format from extension {suffix!r} "
-            "(expected a Verilog or SPICE extension)"
+            "(expected a Verilog, SPICE, or BLIF extension)"
         )
 
     # ------------------------------------------------------------------

@@ -89,6 +89,16 @@ class CheckpointError(ReproError):
     resume never corrupts a live run."""
 
 
+class FrontendError(ReproError):
+    """A frontend input (BLIF netlist, Liberty library, synthesis
+    result) is malformed, incomplete, or inconsistent with the design
+    that references it.  Raised after validating the *whole* input and
+    before any library or module state is mutated (the
+    :class:`KernelCacheError` pattern for external artifacts), so a bad
+    ``.lib`` or ``.blif`` never leaves a half-ingested technology
+    database behind."""
+
+
 class ObservabilityError(ReproError):
     """A trace file or explain report is malformed or inconsistent."""
 

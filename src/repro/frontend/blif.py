@@ -1,0 +1,326 @@
+"""Technology-mapped BLIF parser.
+
+BLIF is what logic synthesis writes: ``yosys``'s ``abc -liberty`` flow
+emits one ``.gate`` line per mapped library cell.  This parser accepts
+the structural subset of the Berkeley Logic Interchange Format that
+mapped netlists use:
+
+* ``.model name`` ... ``.end``
+* ``.inputs`` / ``.outputs`` (repeatable, ``\\`` line continuation)
+* ``.gate CELL pin=net ...`` — a mapped cell instance
+* ``.subckt CELL pin=net ...`` — treated identically (an instance of a
+  library cell or macro; the estimator's module model is flat)
+* ``.latch input output [type control] [init]`` — mapped onto the
+  shipped sequential cells (``DFF`` for edge types, ``DLATCH`` for
+  level types); an unnamed ``NIL`` control becomes the conventional
+  global ``clk`` net
+* zero-input ``.names`` constant drivers (``$false``/``$true``), which
+  contribute no device and are skipped
+
+Multi-input ``.names`` cover tables are *unmapped* logic and raise
+:class:`~repro.errors.ParseError` telling the user to finish the
+mapping (``abc -liberty``) first — estimating a sum-of-products table
+as if it were a cell would silently misreport area.
+
+BLIF names may contain characters structural Verilog identifiers
+cannot (``$abc$123$n7``, ``data[3]``).  Every model, net, and pin name
+is sanitised onto the identifier subset shared by the Verilog writer
+and parser, with deterministic collision suffixes, so an ingested
+module survives the write_verilog/parse_verilog round trip (which the
+service path exercises on every session) bit-identically.
+
+``.gate`` instances are anonymous in BLIF; instances are named
+``g0, g1, ...`` in file order, so a reparse of the written module is
+device-for-device identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.model import Device, Module, Port, PortDirection
+from repro.netlist.validate import validate_module
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+
+#: ``.latch`` trigger types -> (cell, control pin) in the shipped
+#: libraries.  ``re``/``fe`` (rising/falling edge) map to the DFF;
+#: ``ah``/``al``/``as`` (active-high/low, asynchronous) to the DLATCH.
+_LATCH_CELLS = {
+    "re": ("DFF", "ck"),
+    "fe": ("DFF", "ck"),
+    "ah": ("DLATCH", "en"),
+    "al": ("DLATCH", "en"),
+    "as": ("DLATCH", "en"),
+}
+
+
+def parse_blif(text: str, filename: str = "<string>") -> Module:
+    """Parse BLIF source into a single :class:`Module`.
+
+    Exactly one ``.model`` is expected; use :func:`parse_blif_library`
+    for multi-model files.
+    """
+    modules = parse_blif_library(text, filename)
+    if len(modules) != 1:
+        raise ParseError(
+            f"expected exactly one .model, found {len(modules)}", filename
+        )
+    return modules[0]
+
+
+def parse_blif_library(text: str, filename: str = "<string>") -> List[Module]:
+    """Parse a BLIF file containing one or more ``.model`` blocks."""
+    lines = list(_logical_lines(text, filename))
+    modules: List[Module] = []
+    index = 0
+    while index < len(lines):
+        statement, line = lines[index]
+        if not statement.startswith(".model"):
+            raise ParseError(
+                f"expected '.model', got {statement.split()[0]!r}",
+                filename, line,
+            )
+        module, index = _parse_model(lines, index, filename)
+        validate_module(module)
+        modules.append(module)
+    return modules
+
+
+# ----------------------------------------------------------------------
+# tokenisation: strip comments, join '\' continuations
+# ----------------------------------------------------------------------
+def _logical_lines(text: str, filename: str) -> Iterator[Tuple[str, int]]:
+    buffer: List[str] = []
+    start_line = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        hash_at = raw.find("#")
+        if hash_at >= 0:
+            raw = raw[:hash_at]
+        stripped = raw.strip()
+        if not stripped and not buffer:
+            continue
+        if not buffer:
+            start_line = number
+        if stripped.endswith("\\"):
+            buffer.append(stripped[:-1].strip())
+            continue
+        buffer.append(stripped)
+        joined = " ".join(part for part in buffer if part)
+        buffer = []
+        if joined:
+            yield joined, start_line
+    if buffer:
+        raise ParseError(
+            "file ends inside a '\\' line continuation",
+            filename, start_line,
+        )
+
+
+# ----------------------------------------------------------------------
+# grammar
+# ----------------------------------------------------------------------
+def _parse_model(
+    lines: List[Tuple[str, int]], index: int, filename: str
+) -> Tuple[Module, int]:
+    header, line = lines[index]
+    tokens = header.split()
+    if len(tokens) != 2:
+        raise ParseError(
+            f"malformed .model header: {header!r}", filename, line
+        )
+    names = _Namer()
+    model_name = names.resolve(tokens[1])
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    #: (cell, {pin: net}) in file order; devices are named afterwards.
+    instances: List[Tuple[str, Dict[str, str]]] = []
+
+    index += 1
+    while index < len(lines):
+        statement, line = lines[index]
+        index += 1
+        keyword = statement.split()[0]
+        if keyword == ".end":
+            break
+        if keyword == ".model":
+            index -= 1
+            break
+        if keyword in (".inputs", ".outputs"):
+            target = inputs if keyword == ".inputs" else outputs
+            for token in statement.split()[1:]:
+                target.append(names.resolve(token))
+        elif keyword in (".gate", ".subckt"):
+            instances.append(
+                _parse_instance(statement, names, filename, line)
+            )
+        elif keyword == ".latch":
+            instances.append(
+                _parse_latch(statement, names, filename, line)
+            )
+        elif keyword == ".names":
+            index = _skip_names(statement, lines, index, filename, line)
+        else:
+            raise ParseError(
+                f"unsupported BLIF construct {keyword!r}", filename, line
+            )
+
+    return _assemble(model_name, inputs, outputs, instances,
+                     filename, line), index
+
+
+def _parse_instance(
+    statement: str, names: "_Namer", filename: str, line: int
+) -> Tuple[str, Dict[str, str]]:
+    tokens = statement.split()
+    if len(tokens) < 3:
+        raise ParseError(
+            f"malformed {tokens[0]} line (need a cell and at least one "
+            f"pin=net): {statement!r}",
+            filename, line,
+        )
+    cell = tokens[1]
+    if not _IDENT_RE.fullmatch(cell):
+        raise ParseError(
+            f"malformed cell name {cell!r}", filename, line
+        )
+    pins: Dict[str, str] = {}
+    for token in tokens[2:]:
+        pin, equals, net = token.partition("=")
+        if not equals or not pin or not net:
+            raise ParseError(
+                f"malformed pin connection {token!r} (expected pin=net)",
+                filename, line,
+            )
+        pin = _sanitize(pin)
+        if pin in pins:
+            raise ParseError(
+                f"cell {cell!r}: pin {pin!r} connected twice",
+                filename, line,
+            )
+        pins[pin] = names.resolve(net)
+    return cell, pins
+
+
+def _parse_latch(
+    statement: str, names: "_Namer", filename: str, line: int
+) -> Tuple[str, Dict[str, str]]:
+    tokens = statement.split()[1:]
+    # .latch input output [type control] [init-val]
+    if len(tokens) in (3, 5) and tokens[-1] in ("0", "1", "2", "3"):
+        tokens = tokens[:-1]
+    if len(tokens) not in (2, 4):
+        raise ParseError(
+            f"malformed .latch line: {statement!r}", filename, line
+        )
+    data, output = tokens[0], tokens[1]
+    trigger, control = ("re", "NIL") if len(tokens) == 2 else tokens[2:4]
+    if trigger not in _LATCH_CELLS:
+        raise ParseError(
+            f".latch trigger type {trigger!r} not in "
+            f"{sorted(_LATCH_CELLS)}",
+            filename, line,
+        )
+    cell, control_pin = _LATCH_CELLS[trigger]
+    control_net = "clk" if control == "NIL" else control
+    return cell, {
+        "d": names.resolve(data),
+        control_pin: names.resolve(control_net),
+        "q": names.resolve(output),
+    }
+
+
+def _skip_names(
+    statement: str,
+    lines: List[Tuple[str, int]],
+    index: int,
+    filename: str,
+    line: int,
+) -> int:
+    """Zero-input ``.names`` (constant drivers) are skipped along with
+    their cover rows; anything wider is unmapped logic."""
+    tokens = statement.split()
+    if len(tokens) > 2:
+        raise ParseError(
+            f".names with logic inputs is unmapped logic: {statement!r} "
+            "— run the netlist through technology mapping "
+            "(e.g. yosys 'abc -liberty') before estimating",
+            filename, line,
+        )
+    while index < len(lines):
+        cover, _ = lines[index]
+        if cover.startswith("."):
+            break
+        if not re.fullmatch(r"[01-]+(?: [01])?", cover):
+            raise ParseError(
+                f"malformed cover row {cover!r}", filename, line
+            )
+        index += 1
+    return index
+
+
+def _assemble(
+    name: str,
+    inputs: List[str],
+    outputs: List[str],
+    instances: List[Tuple[str, Dict[str, str]]],
+    filename: str,
+    line: int,
+) -> Module:
+    module = Module(name)
+    seen = set()
+    for net, direction in (
+        [(net, PortDirection.INPUT) for net in inputs]
+        + [(net, PortDirection.OUTPUT) for net in outputs]
+    ):
+        if net in seen:
+            raise ParseError(
+                f"model {name!r}: net {net!r} listed twice in "
+                ".inputs/.outputs",
+                filename, line,
+            )
+        seen.add(net)
+        module.add_port(Port(net, direction))
+    for position, (cell, pins) in enumerate(instances):
+        module.add_device(Device(f"g{position}", cell, pins))
+    return module
+
+
+# ----------------------------------------------------------------------
+# name sanitisation
+# ----------------------------------------------------------------------
+def _sanitize(name: str) -> str:
+    clean = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not clean or not re.match(r"[A-Za-z_]", clean):
+        clean = "_" + clean
+    return clean
+
+
+class _Namer:
+    """Maps raw BLIF names onto unique sanitised identifiers.
+
+    The same raw name always resolves to the same identifier; two raw
+    names that sanitise identically get deterministic ``_2``, ``_3``
+    suffixes in first-seen order.
+    """
+
+    def __init__(self) -> None:
+        self._by_raw: Dict[str, str] = {}
+        self._used: set = set()
+
+    def resolve(self, raw: str) -> str:
+        known = self._by_raw.get(raw)
+        if known is not None:
+            return known
+        base = _sanitize(raw)
+        unique = base
+        suffix = 2
+        while unique in self._used:
+            unique = f"{base}_{suffix}"
+            suffix += 1
+        self._used.add(unique)
+        self._by_raw[raw] = unique
+        return unique

@@ -1,0 +1,172 @@
+"""Optional ``yosys`` synthesis driver (``mae synth``).
+
+Runs the standard Liberty-mapped synthesis recipe — read_liberty →
+read_verilog → hierarchy → proc/opt/fsm/memory/techmap → dfflibmap →
+abc → stat — and extracts the chip area that ``stat -liberty``
+reports.  That area is the external ground truth the calibration
+harness (:mod:`repro.frontend.calibrate`) fits the estimator against.
+
+The binary is strictly optional: :func:`find_yosys` probes ``PATH``
+(override with ``$MAE_YOSYS``), and ``mae synth`` skips gracefully
+when no binary exists, so the whole frontend suite — fixtures,
+calibration, and the ``frontend_accuracy`` verify gate — runs
+hermetically.  On a mapped netlist the ``stat -liberty`` chip area is
+by construction the sum of instance Liberty cell areas, which
+:meth:`~repro.frontend.liberty.LibertyLibrary.module_area` computes
+without a binary; the nightly CI job installs yosys and closes the
+loop end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import FrontendError
+
+#: How the reported chip area appears in ``stat -liberty`` output.
+CHIP_AREA_RE = re.compile(
+    r"Chip area for (?:top )?module\s+'?\\?([^':\s]*)'?\s*:\s*\"?"
+    r"([\d.]+)\"?"
+)
+
+#: Cell usage rows in the ``stat`` table (``     12  NAND2``).
+CELL_COUNT_RE = re.compile(r"^\s+(\d+)\s+\\?([A-Za-z_][A-Za-z0-9_$]*)\s*$")
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """What one ``mae synth`` run learned."""
+
+    top: str
+    chip_area_um2: float
+    cell_counts: Tuple[Tuple[str, int], ...] = ()
+    blif_path: Optional[str] = None
+    log: str = field(default="", repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "top": self.top,
+            "chip_area_um2": self.chip_area_um2,
+            "cell_counts": {name: count for name, count in self.cell_counts},
+            "blif_path": self.blif_path,
+        }
+
+
+def find_yosys(explicit: Optional[str] = None) -> Optional[str]:
+    """Locate a ``yosys`` binary, or None when the host has none.
+
+    Resolution order: the ``explicit`` argument, ``$MAE_YOSYS``, then
+    ``PATH``.  An explicit path that does not exist raises — a typo'd
+    ``--yosys`` should not silently degrade into a skip.
+    """
+    candidate = explicit or os.environ.get("MAE_YOSYS")
+    if candidate:
+        resolved = shutil.which(candidate)
+        if resolved is None:
+            raise FrontendError(
+                f"yosys binary {candidate!r} not found or not executable"
+            )
+        return resolved
+    return shutil.which("yosys")
+
+
+def synthesis_commands(
+    verilog_path: Union[str, Path],
+    liberty_path: Union[str, Path],
+    top: Optional[str] = None,
+    blif_out: Optional[Union[str, Path]] = None,
+) -> List[str]:
+    """The command recipe, exposed so tests (and ``--dry-run``) can
+    inspect it without a binary."""
+    hierarchy = f"hierarchy -check -top {top}" if top else (
+        "hierarchy -check -auto-top"
+    )
+    commands = [
+        f"read_liberty -lib {liberty_path}",
+        f"read_verilog {verilog_path}",
+        hierarchy,
+        "proc", "opt", "fsm", "opt", "memory", "opt",
+        "techmap", "opt",
+        f"dfflibmap -liberty {liberty_path}",
+        f"abc -liberty {liberty_path}",
+        "clean",
+        f"stat -liberty {liberty_path}",
+    ]
+    if blif_out is not None:
+        commands.append(f"write_blif {blif_out}")
+    return commands
+
+
+def run_yosys_flow(
+    verilog_path: Union[str, Path],
+    liberty_path: Union[str, Path],
+    top: Optional[str] = None,
+    blif_out: Optional[Union[str, Path]] = None,
+    yosys_bin: Optional[str] = None,
+    timeout: float = 300.0,
+) -> SynthesisResult:
+    """Synthesise ``verilog_path`` against ``liberty_path`` and return
+    the reported chip area (and optionally the mapped BLIF).
+
+    Raises :class:`FrontendError` when no binary is available — use
+    :func:`find_yosys` first to skip gracefully instead.
+    """
+    binary = find_yosys(yosys_bin)
+    if binary is None:
+        raise FrontendError(
+            "no yosys binary on PATH (set $MAE_YOSYS or pass --yosys); "
+            "mae synth skips gracefully without one"
+        )
+    for path, what in ((verilog_path, "verilog"), (liberty_path, "liberty")):
+        if not Path(path).exists():
+            raise FrontendError(f"{what} file {path} does not exist")
+    script = "; ".join(
+        synthesis_commands(verilog_path, liberty_path, top, blif_out)
+    )
+    try:
+        proc = subprocess.run(
+            [binary, "-Q", "-p", script],
+            capture_output=True, text=True, timeout=timeout,
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise FrontendError(
+            f"yosys timed out after {timeout:g}s on {verilog_path}"
+        ) from exc
+    log = proc.stdout + proc.stderr
+    if proc.returncode != 0:
+        tail = "\n".join(log.splitlines()[-15:])
+        raise FrontendError(
+            f"yosys exited with status {proc.returncode}:\n{tail}"
+        )
+    return parse_yosys_stat(log, blif_out)
+
+
+def parse_yosys_stat(
+    log: str, blif_out: Optional[Union[str, Path]] = None
+) -> SynthesisResult:
+    """Extract the chip area and cell counts from a yosys log."""
+    matches = CHIP_AREA_RE.findall(log)
+    if not matches:
+        raise FrontendError(
+            "yosys output contains no 'Chip area for module' line — "
+            "stat -liberty did not run or the design mapped to no cells"
+        )
+    top, area_text = matches[-1]
+    counts = []
+    for line in log.splitlines():
+        match = CELL_COUNT_RE.match(line)
+        if match:
+            counts.append((match.group(2), int(match.group(1))))
+    return SynthesisResult(
+        top=top,
+        chip_area_um2=float(area_text),
+        cell_counts=tuple(counts),
+        blif_path=str(blif_out) if blif_out is not None else None,
+        log=log,
+    )

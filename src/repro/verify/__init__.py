@@ -23,6 +23,7 @@ from repro.verify.checks import (
     check_batch_jobs,
     check_caches_identity,
     check_disk_roundtrip,
+    check_frontend_accuracy,
     check_incremental_equivalence,
     check_serve_equivalence,
     check_plan_vs_direct,
@@ -90,6 +91,7 @@ __all__ = [
     "check_batch_jobs",
     "check_caches_identity",
     "check_disk_roundtrip",
+    "check_frontend_accuracy",
     "check_incremental_equivalence",
     "check_serve_equivalence",
     "check_plan_vs_direct",

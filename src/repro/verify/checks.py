@@ -718,6 +718,74 @@ def _config_jsonable(config: EstimatorConfig) -> dict:
     return payload
 
 
+def check_frontend_accuracy(
+    envelope_path: Optional[str] = None,
+) -> CheckResult:
+    """The committed frontend calibration still holds.
+
+    Corpus-independent (it runs once per sweep, like the portfolio
+    gate): refits the per-library correction factor over the committed
+    golden BLIF/Liberty fixtures and compares against the committed
+    ``VERIFY_frontend_envelope.json`` — the fixture set must match,
+    the refitted factor must agree to float precision (the fit is
+    deterministic arithmetic over committed inputs), and every
+    refitted residual must sit inside the committed accuracy band.
+    Any drift in parser, estimator, or fixtures fails the gate with
+    the offending designs named; ``mae calibrate`` re-fits and
+    rewrites the artifact when a change is intentional.
+    """
+    from repro.errors import FrontendError, VerificationError
+    from repro.frontend.calibrate import (
+        default_envelope_path,
+        load_frontend_envelope,
+        measure_frontend_envelope,
+    )
+
+    name = "frontend_accuracy"
+    path = envelope_path or str(default_envelope_path())
+    try:
+        committed = load_frontend_envelope(path)
+        fresh = measure_frontend_envelope(
+            pdn_margin=committed["pdn_margin"],
+            bounds=(committed["bounds"]["low"],
+                    committed["bounds"]["high"]),
+        )
+    except (KeyError, FrontendError, VerificationError) as exc:
+        return CheckResult(
+            name, False,
+            f"cannot evaluate the committed envelope: {exc} "
+            "(run 'mae calibrate' to regenerate it)",
+        )
+    committed_designs = [case["design"] for case in committed["cases"]]
+    fresh_designs = [case["design"] for case in fresh["cases"]]
+    if committed_designs != fresh_designs:
+        return CheckResult(
+            name, False,
+            f"fixture set drifted from the committed envelope: "
+            f"committed {committed_designs}, on disk {fresh_designs}",
+        )
+    factor_drift = abs(fresh["factor"] - committed["factor"])
+    if factor_drift > 1e-9 * max(1.0, abs(committed["factor"])):
+        return CheckResult(
+            name, False,
+            f"refitted correction factor {fresh['factor']!r} drifted "
+            f"from the committed {committed['factor']!r}",
+        )
+    violations = [
+        f"{case['design']} (residual {case['residual']:+.4f})"
+        for case in fresh["cases"] if not case["within"]
+    ]
+    if violations:
+        bounds = committed["bounds"]
+        return CheckResult(
+            name, False,
+            f"residual(s) outside the committed accuracy band "
+            f"[{bounds['low']:+.4f}, {bounds['high']:+.4f}]: "
+            + ", ".join(violations),
+        )
+    return CheckResult(name, True)
+
+
 #: Per-module equivalence checks by methodology, for the runner.
 EQUIVALENCE_CHECKS: Tuple[Tuple[str, str, Callable], ...] = (
     ("plan_vs_direct", "standard-cell", check_plan_vs_direct),

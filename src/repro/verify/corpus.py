@@ -165,6 +165,30 @@ def _build_decoder_nmos(spec: CaseSpec) -> Module:
     return expand_to_transistors(gate_level, name=spec.label)
 
 
+def _build_blif(spec: CaseSpec) -> Module:
+    """A frontend-ingested case: one committed golden BLIF fixture
+    parsed through :mod:`repro.frontend.blif`, renamed to the spec
+    label so every case is a distinct module.  Fixture files are
+    committed, so the recipe replays bit-identically like any
+    generated family — and every equivalence gate (plan-vs-direct,
+    backends, incremental, serve, congestion) now runs over ingested
+    netlists too."""
+    from repro.frontend.blif import parse_blif
+    from repro.frontend.calibrate import fixture_blifs
+
+    paths = fixture_blifs()
+    path = paths[int(spec.param("fixture")) % len(paths)]
+    module = parse_blif(path.read_text(), str(path))
+    module.name = spec.label
+    return module
+
+
+def _sample_blif(rng: random.Random) -> Dict[str, ParamValue]:
+    from repro.frontend.calibrate import fixture_blifs
+
+    return {"fixture": rng.randrange(len(fixture_blifs()))}
+
+
 def _build_hier(spec: CaseSpec) -> Module:
     """The portfolio workload: a seeded hierarchical multi-module chip,
     flattened through the instantiation hierarchy into one gate-level
@@ -246,6 +270,9 @@ _register(_Family(
 _register(_Family(
     "hier", "standard-cell", _build_hier,
     lambda rng: {"modules": rng.randrange(4, 8)},
+))
+_register(_Family(
+    "blif", "standard-cell", _build_blif, _sample_blif,
 ))
 
 # Full-custom families --------------------------------------------------

@@ -46,6 +46,7 @@ from repro.verify.checks import (
     check_caches_identity,
     check_disk_roundtrip,
     check_backend_equivalence,
+    check_frontend_accuracy,
     check_incremental_equivalence,
     check_portfolio_determinism,
     check_serve_equivalence,
@@ -117,6 +118,18 @@ class VerifyOptions:
         """
         if self.checks is not None:
             return "congestion_oracle" in self.checks
+        return self.check_envelope
+
+    def wants_frontend(self) -> bool:
+        """Whether the frontend calibration gate runs.
+
+        Explicit ``--check frontend_accuracy`` always runs it (the CI
+        smoke gate works under ``--skip-envelope``); otherwise it
+        rides with the envelope stage, since it compares against a
+        committed accuracy artifact just like the layout oracles.
+        """
+        if self.checks is not None:
+            return "frontend_accuracy" in self.checks
         return self.check_envelope
 
 
@@ -194,6 +207,7 @@ CHECK_STAGES: Dict[str, str] = {
     "area_monotone_in_devices": "metamorphic",
     "envelope": "envelope",
     "congestion_oracle": "envelope",
+    "frontend_accuracy": "envelope",
 }
 
 
@@ -421,6 +435,22 @@ def run_verify(options: Optional[VerifyOptions] = None) -> VerifyReport:
                 span.set("points", len(congestion_points))
 
     # ------------------------------------------------------------------
+    if options.wants_frontend():
+        with tracer.span("verify.frontend") as span:
+            # Corpus-independent: the gate refits the committed golden
+            # fixtures against the committed envelope artifact once per
+            # sweep.  The record's spec points at the blif corpus
+            # family so a failure still replays through seed records.
+            result = check_frontend_accuracy()
+            anchor = next(
+                (spec for spec, _ in built if spec.family == "blif"),
+                CaseSpec.make("blif", 0, {"fixture": 0}),
+            )
+            note(anchor, None, result, None)
+            if tracer.enabled:
+                span.set("passed", result.passed)
+
+    # ------------------------------------------------------------------
     failures: List[SeedRecord] = []
     with tracer.span("verify.shrink") as span:
         for spec, module, name, detail, predicate in pending_failures:
@@ -561,6 +591,8 @@ def replay_records(
             )
         elif record.check == "portfolio_determinism":
             result = check_portfolio_determinism(record.spec, process)
+        elif record.check == "frontend_accuracy":
+            result = check_frontend_accuracy()
         elif record.check == "area_monotone_in_devices":
             grown = _grown_spec(record.spec)
             if grown is None:

@@ -1,0 +1,23 @@
+// RTL source for the optional end-to-end synthesis comparison.
+//
+// This file is only consumed by the nightly CI job (and `mae synth`
+// when a yosys binary exists): yosys maps it against toy.lib and the
+// reported `stat -liberty` chip area is compared with the calibrated
+// estimate of the resulting BLIF.  The hermetic fixture suite never
+// reads it — the repro parsers only consume the committed .blif files.
+module fx_rtl_alu (
+    input  wire [3:0] a,
+    input  wire [3:0] b,
+    input  wire [1:0] op,
+    input  wire       clk,
+    output reg  [3:0] y
+);
+  always @(posedge clk) begin
+    case (op)
+      2'b00: y <= a + b;
+      2'b01: y <= a & b;
+      2'b10: y <= a | b;
+      2'b11: y <= a ^ b;
+    endcase
+  end
+endmodule

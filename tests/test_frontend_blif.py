@@ -1,0 +1,227 @@
+"""The BLIF parser: grammar, sanitisation, and round-trip fidelity.
+
+The round-trip property is the one the service path relies on: a
+frontend-ingested module must survive BLIF parse -> Module -> Verilog
+write -> Verilog reparse with its device histogram and net-degree
+histogram intact (the estimator consumes nothing else), including
+after random ECO perturbations of the golden fixtures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EstimatorConfig
+from repro.errors import ParseError
+from repro.frontend.blif import parse_blif, parse_blif_library
+from repro.frontend.calibrate import fixture_blifs
+from repro.incremental.editgen import generate_edit_sequence
+from repro.netlist.model import PortDirection
+from repro.netlist.verilog import parse_verilog
+from repro.netlist.writers import write_blif, write_verilog
+
+FIXTURES = fixture_blifs()
+
+
+def _histograms(module):
+    """(cell histogram, net-degree histogram) — what the estimator
+    actually consumes from a netlist."""
+    cells = Counter(device.cell for device in module.devices)
+    degrees = Counter(
+        net.component_count
+        for net in module.iter_signal_nets(EstimatorConfig().power_nets)
+    )
+    return cells, degrees
+
+
+# ----------------------------------------------------------------------
+# grammar
+# ----------------------------------------------------------------------
+class TestGrammar:
+    def test_gate_lines_with_comments_and_continuations(self):
+        module = parse_blif(
+            "# synthesized by example\n"
+            ".model top\n"
+            ".inputs a \\\n"
+            "        b   # trailing comment\n"
+            ".outputs y\n"
+            ".gate NAND2 a=a b=b y=n1\n"
+            ".gate INV a=n1 y=y\n"
+            ".end\n"
+        )
+        assert module.name == "top"
+        assert [d.name for d in module.devices] == ["g0", "g1"]
+        assert [d.cell for d in module.devices] == ["NAND2", "INV"]
+        assert {p.name for p in module.ports} == {"a", "b", "y"}
+
+    def test_subckt_is_treated_as_instance(self):
+        module = parse_blif(
+            ".model top\n.inputs a\n.outputs y\n"
+            ".subckt INV a=a y=y\n.end\n"
+        )
+        assert module.device_count == 1
+        assert module.devices[0].cell == "INV"
+
+    def test_latch_maps_to_dff_with_global_clock(self):
+        module = parse_blif(
+            ".model top\n.inputs d\n.outputs q\n"
+            ".latch d q re clock 2\n"
+            ".latch d q2 2\n"
+            ".end\n"
+        )
+        first, second = module.devices
+        assert first.cell == "DFF"
+        assert first.pins == {"d": "d", "ck": "clock", "q": "q"}
+        # NIL/absent control becomes the conventional global clk net
+        assert second.pins["ck"] == "clk"
+
+    def test_level_sensitive_latch_maps_to_dlatch(self):
+        module = parse_blif(
+            ".model top\n.inputs d en\n.outputs q\n"
+            ".latch d q ah en 0\n.end\n"
+        )
+        assert module.devices[0].cell == "DLATCH"
+        assert module.devices[0].pins == {"d": "d", "en": "en", "q": "q"}
+
+    def test_constant_names_drivers_are_skipped(self):
+        module = parse_blif(
+            ".model top\n.inputs a\n.outputs y\n"
+            ".names $false\n"
+            ".names $true\n1\n"
+            ".gate INV a=a y=y\n.end\n"
+        )
+        assert module.device_count == 1
+
+    def test_multi_model_file_needs_library_entry_point(self):
+        text = (
+            ".model one\n.inputs a\n.outputs y\n.gate INV a=a y=y\n.end\n"
+            ".model two\n.inputs b\n.outputs z\n.gate INV a=b y=z\n.end\n"
+        )
+        assert len(parse_blif_library(text)) == 2
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_blif(text)
+
+    def test_port_directions(self):
+        module = parse_blif(
+            ".model top\n.inputs a\n.outputs y\n.gate BUF a=a y=y\n.end\n"
+        )
+        directions = {p.name: p.direction for p in module.ports}
+        assert directions == {
+            "a": PortDirection.INPUT, "y": PortDirection.OUTPUT,
+        }
+
+
+class TestSanitisation:
+    def test_yosys_style_names_become_verilog_identifiers(self):
+        module = parse_blif(
+            ".model top\n.inputs data[0] data[1]\n.outputs $abc$1$y\n"
+            ".gate NAND2 a=data[0] b=data[1] y=$abc$1$y\n.end\n"
+        )
+        for net in module.nets:
+            # must survive the Verilog writer/parser round trip
+            assert "[" not in net.name and "]" not in net.name
+        reparsed = parse_verilog(write_verilog(module))
+        assert reparsed.device_count == module.device_count
+
+    def test_colliding_sanitised_names_stay_distinct(self):
+        module = parse_blif(
+            ".model top\n.inputs a[0] a.0\n.outputs y\n"
+            ".gate NAND2 a=a[0] b=a.0 y=y\n.end\n"
+        )
+        names = {p.name for p in module.ports}
+        assert len(names) == 3
+        device = module.devices[0]
+        assert device.pins["a"] != device.pins["b"]
+
+    def test_same_raw_name_always_resolves_identically(self):
+        module = parse_blif(
+            ".model top\n.inputs n$1\n.outputs y\n"
+            ".gate BUF a=n$1 y=w.1\n.gate INV a=w.1 y=y\n.end\n"
+        )
+        assert module.devices[0].pins["y"] == module.devices[1].pins["a"]
+
+
+class TestErrors:
+    def test_unmapped_names_table_is_rejected_with_direction(self):
+        with pytest.raises(ParseError, match="abc -liberty"):
+            parse_blif(
+                ".model top\n.inputs a b\n.outputs y\n"
+                ".names a b y\n11 1\n.end\n"
+            )
+
+    def test_unsupported_construct(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            parse_blif(".model top\n.inputs a\n.exdc\n.end\n")
+
+    def test_malformed_pin_connection(self):
+        with pytest.raises(ParseError, match="pin=net"):
+            parse_blif(".model top\n.gate INV a y\n.end\n")
+
+    def test_duplicate_pin(self):
+        with pytest.raises(ParseError, match="connected twice"):
+            parse_blif(".model top\n.gate INV a=x a=y\n.end\n")
+
+    def test_trailing_continuation(self):
+        with pytest.raises(ParseError, match="continuation"):
+            parse_blif(".model top\n.inputs a \\")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError, match=r"bad\.blif:3"):
+            parse_blif(
+                ".model top\n.inputs a\n.names a b y\n", "bad.blif"
+            )
+
+
+# ----------------------------------------------------------------------
+# round trips over the golden fixtures
+# ----------------------------------------------------------------------
+class TestGoldenRoundTrip:
+    @pytest.mark.parametrize(
+        "path", FIXTURES, ids=[p.stem for p in FIXTURES]
+    )
+    def test_blif_write_reparse_is_identical(self, path):
+        module = parse_blif(path.read_text(), str(path))
+        reparsed = parse_blif(write_blif(module), "roundtrip.blif")
+        assert [
+            (d.name, d.cell, d.pins) for d in module.devices
+        ] == [(d.name, d.cell, d.pins) for d in reparsed.devices]
+        assert sorted(n.name for n in module.nets) == sorted(
+            n.name for n in reparsed.nets
+        )
+
+    @pytest.mark.parametrize(
+        "path", FIXTURES, ids=[p.stem for p in FIXTURES]
+    )
+    def test_verilog_round_trip_preserves_histograms(self, path):
+        module = parse_blif(path.read_text(), str(path))
+        reparsed = parse_verilog(write_verilog(module), "roundtrip.v")
+        assert _histograms(reparsed) == _histograms(module)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fixture=st.integers(min_value=0, max_value=len(FIXTURES) - 1),
+    edit_seed=st.integers(min_value=0, max_value=10_000),
+    edits=st.integers(min_value=0, max_value=6),
+)
+def test_round_trip_survives_perturbed_fixtures(fixture, edit_seed, edits):
+    """Hypothesis: after random ECO edits of a golden fixture, the
+    BLIF -> Module -> Verilog -> reparse chain still preserves the
+    device and net-degree histograms."""
+    path = FIXTURES[fixture]
+    module = parse_blif(path.read_text(), str(path))
+    for mutation in generate_edit_sequence(module, edits, seed=edit_seed):
+        mutation.apply(module)
+    # Edits can merge port nets; the result is a valid Module but has
+    # no faithful BLIF spelling (write_blif rejects it), so skip those.
+    port_nets = [p.net for p in module.ports]
+    assume(len(set(port_nets)) == len(port_nets))
+    through_blif = parse_blif(write_blif(module), "perturbed.blif")
+    through_verilog = parse_verilog(
+        write_verilog(through_blif), "perturbed.v"
+    )
+    assert _histograms(through_verilog) == _histograms(module)
